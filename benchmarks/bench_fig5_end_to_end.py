@@ -1,0 +1,98 @@
+"""Fig. 5 — end-to-end runtime improvement.
+
+Normalized runtime (NSFlow = 1.00, larger = slower) of Jetson TX2, Xavier
+NX, Xeon CPU, RTX 2080, a TPU-like 128×128 systolic array and a
+Xilinx-DPU-like engine across the six reasoning tasks.
+
+Paper bands: TX2 ≈ 24-31×, NX ≈ 14-18×, Xeon ≈ 3.9-5.5×, RTX ≈ 1.2-2.5×,
+TPU-like ≈ 1.9-8.4×, DPU ≈ 1.7-3.4× — NSFlow wins everywhere.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import NSFlow, build_workload
+from repro.arch.controller import Controller
+from repro.baselines import fig5_devices
+from repro.flow import format_table
+from repro.utils import geomean
+
+from conftest import emit, once
+
+#: The six task columns of Fig. 5: (label, workload, config overrides).
+TASKS = [
+    ("RAVEN", "nvsa", {"dataset": "raven"}),
+    ("I-RAVEN", "nvsa", {"dataset": "iraven"}),
+    ("PGM", "nvsa", {"dataset": "pgm"}),
+    ("CVR", "mimonet", {"dataset": "cvr"}),
+    ("SVRT", "mimonet", {"dataset": "svrt"}),
+    ("LVRF", "lvrf", {"dataset": "raven"}),
+]
+
+
+@pytest.fixture(scope="module")
+def fig5_grid():
+    nsf = NSFlow()
+    devices = fig5_devices()
+    grid = []
+    for label, workload, overrides in TASKS:
+        wl = build_workload(workload, **overrides)
+        design = nsf.compile(wl)
+        ratios = {
+            dev.name: dev.run_trace(design.trace).total_s / design.latency_s
+            for dev in devices
+        }
+        grid.append((label, design.latency_ms, ratios))
+    return grid
+
+
+def test_fig5_normalized_runtime(benchmark, fig5_grid):
+    device_names = [dev.name for dev in fig5_devices()]
+    rows = []
+    for label, nsflow_ms, ratios in fig5_grid:
+        rows.append(
+            [label]
+            + [f"{ratios[d]:.2f}" for d in device_names]
+            + ["1.00", f"{nsflow_ms:.2f}"]
+        )
+    text = format_table(
+        ["Task"] + device_names + ["NSFlow", "NSFlow ms"],
+        rows,
+        title="Fig. 5 (reproduced): normalized end-to-end runtime (NSFlow = 1.00)",
+    )
+    once(benchmark, lambda: text)
+    emit("fig5_end_to_end", text)
+
+    # NSFlow wins on every task against every device.
+    for _, _, ratios in fig5_grid:
+        for device, ratio in ratios.items():
+            assert ratio > 1.0, f"{device} beat NSFlow"
+
+    # Headline ratios in the paper's bands (geomean across tasks).
+    by_device = {
+        d: geomean([ratios[d] for _, _, ratios in fig5_grid])
+        for d in device_names
+    }
+    assert 12 <= by_device["Jetson TX2"] <= 40
+    assert 8 <= by_device["Xavier NX"] <= 25
+    assert 2.5 <= by_device["Xeon CPU"] <= 8
+    assert 1.05 <= by_device["RTX 2080"] <= 3.0
+    assert 1.05 <= by_device["TPU-like SA (128x128)"] <= 9
+    assert 1.2 <= by_device["Xilinx DPU"] <= 4.5
+
+
+def test_fig5_device_ordering(benchmark, fig5_grid):
+    """TX2 slower than NX slower than Xeon, on every task."""
+    once(benchmark, lambda: None)
+    for _, _, ratios in fig5_grid:
+        assert ratios["Jetson TX2"] > ratios["Xavier NX"] > ratios["Xeon CPU"]
+
+
+def test_bench_controller_schedule(benchmark):
+    nsf = NSFlow()
+    wl = build_workload("nvsa")
+    design = nsf.compile(wl)
+    ctrl = Controller(design.config)
+    result = benchmark(ctrl.schedule, design.graph)
+    assert result.total_cycles > 0

@@ -1,0 +1,72 @@
+"""Table I — workload taxonomy.
+
+Regenerates the paper's workload characterization rows: compute pattern
+(neuro kernel family, symbolic kernel family) and the measured op mix of
+each Table I model's execution trace.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.flow import format_table
+from repro.trace.opnode import ExecutionUnit, OpDomain
+from repro.workloads import build_workload
+
+from conftest import emit, once
+
+WORKLOADS = ("nvsa", "mimonet", "lvrf", "prae")
+
+#: The taxonomy the paper states (compute-pattern columns of Table I).
+EXPECTED_SYMBOLIC_KERNEL = {
+    "nvsa": "VSA binding/unbinding (circular conv)",
+    "mimonet": "VSA binding (circular conv)",
+    "lvrf": "VSA binding/unbinding (circular conv)",
+    "prae": "probabilistic abduction (PMF algebra)",
+}
+
+
+@pytest.fixture(scope="module")
+def taxonomy_rows():
+    rows = []
+    for name in WORKLOADS:
+        trace = build_workload(name).build_trace()
+        n_conv = sum(1 for op in trace if op.kind == "conv2d")
+        n_vsa = len(trace.by_unit(ExecutionUnit.ARRAY_VSA))
+        n_simd = len(trace.by_unit(ExecutionUnit.SIMD))
+        nf = trace.total_flops(OpDomain.NEURAL)
+        sf = trace.total_flops(OpDomain.SYMBOLIC)
+        rows.append(
+            [
+                name.upper(),
+                f"CNN ({n_conv} convs)",
+                EXPECTED_SYMBOLIC_KERNEL[name],
+                n_vsa,
+                n_simd,
+                f"{100 * sf / (nf + sf):.1f}%",
+            ]
+        )
+    return rows
+
+
+def test_table1_taxonomy(benchmark, taxonomy_rows):
+    text = once(benchmark, lambda: format_table(
+        ["Workload", "Neuro kernel", "Symbolic kernel",
+         "#VSA ops", "#SIMD ops", "Symb FLOP share"],
+        taxonomy_rows,
+        title="Table I (reproduced): NSAI workload taxonomy",
+    ))
+    emit("table1_workloads", text)
+    # VSA-based workloads carry circular-conv kernels; PrAE carries none.
+    by_name = {row[0]: row for row in taxonomy_rows}
+    assert by_name["NVSA"][3] > 0
+    assert by_name["MIMONET"][3] > 0
+    assert by_name["LVRF"][3] > 0
+    assert by_name["PRAE"][3] == 0
+
+
+def test_bench_trace_extraction(benchmark):
+    """Throughput of the toolchain's first stage (trace extraction)."""
+    wl = build_workload("nvsa")
+    trace = benchmark(wl.build_trace)
+    assert len(trace) > 100

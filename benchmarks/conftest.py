@@ -1,0 +1,40 @@
+"""Shared benchmark fixtures and result reporting.
+
+Every bench regenerates one of the paper's tables/figures and prints the
+same rows/series the paper reports (run with ``pytest benchmarks/
+--benchmark-only -s`` to see them inline). Results are also appended to
+``benchmarks/results/`` so EXPERIMENTS.md can cite them.
+"""
+
+from __future__ import annotations
+
+import os
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+def emit(name: str, text: str) -> None:
+    """Print a result block and persist it under benchmarks/results/."""
+    banner = f"\n{'=' * 72}\n{name}\n{'=' * 72}\n{text}\n"
+    print(banner)
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+
+
+@pytest.fixture(scope="session")
+def table4_problem_count() -> int:
+    """Problems per (dataset, precision) cell; raise via NSFLOW_T4_PROBLEMS."""
+    return int(os.environ.get("NSFLOW_T4_PROBLEMS", "60"))
+
+
+def once(benchmark, fn):
+    """Register ``fn`` as a single-shot benchmark and return its result.
+
+    The table/figure benches derive their data in module fixtures; this
+    wrapper times the (cheap) regeneration step so every bench runs under
+    ``pytest benchmarks/ --benchmark-only``.
+    """
+    return benchmark.pedantic(fn, rounds=1, iterations=1)

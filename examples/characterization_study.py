@@ -1,0 +1,81 @@
+#!/usr/bin/env python3
+"""Why NSAI needs its own accelerator: the Fig. 1 characterization, live.
+
+Profiles the four Table I workloads on the calibrated device models and
+prints the three views of the paper's Sec. II-B analysis: the
+neuro/symbolic runtime split, the cross-device latency wall, and the
+roofline placement that shows symbolic kernels are memory-bound.
+
+Usage:  python examples/characterization_study.py
+"""
+
+from repro.baselines import RTX_2080TI, RooflineDevice, baseline_devices
+from repro.characterize import characterize_workload, roofline_points
+from repro.flow import format_table
+from repro.workloads import build_workload
+
+WORKLOADS = ("nvsa", "mimonet", "lvrf", "prae")
+
+
+def main() -> None:
+    devices = baseline_devices()
+    chars = {
+        name: characterize_workload(build_workload(name), devices)
+        for name in WORKLOADS
+    }
+
+    # View 1: where the time goes (Fig. 1a).
+    rows = [
+        [
+            name.upper(),
+            f"{100 * ch.symbolic_flop_fraction:5.1f}%",
+            f"{100 * ch.symbolic_runtime_fraction('RTX 2080'):5.1f}%",
+        ]
+        for name, ch in chars.items()
+    ]
+    print(format_table(
+        ["Workload", "Symbolic FLOPs", "Symbolic runtime (GPU)"],
+        rows,
+        title="The mismatch: symbolic work is cheap in FLOPs, expensive in time",
+    ))
+
+    # View 2: the latency wall (Fig. 1b).
+    names = ["Edge TPU", "Jetson TX2", "Xavier NX", "Xeon CPU", "RTX 2080"]
+    rows = [
+        [name.upper()] + [f"{chars[name].latency_s(d) * 1e3:8.1f}" for d in names]
+        for name in WORKLOADS
+    ]
+    print()
+    print(format_table(
+        ["Workload"] + [f"{d} ms" for d in names],
+        rows,
+        title="No device reaches real time on the symbolic-heavy workloads",
+    ))
+
+    # View 3: the roofline explanation (Fig. 1c).
+    ridge = RTX_2080TI.peak_gflops / RTX_2080TI.mem_bandwidth_gb_s
+    device = RooflineDevice(RTX_2080TI)
+    rows = []
+    for name in WORKLOADS:
+        for p in roofline_points(build_workload(name).build_trace(), device):
+            rows.append([
+                p.label,
+                f"{p.arithmetic_intensity:7.2f}",
+                "memory-bound" if p.memory_bound else "compute-bound",
+            ])
+    print()
+    print(format_table(
+        ["Aggregate", "FLOPs/byte", "Regime"],
+        rows,
+        title=f"RTX 2080 roofline (ridge at {ridge:.1f} FLOPs/byte)",
+    ))
+    print(
+        "\nConclusion (the paper's Sec. II-B): symbolic kernels are\n"
+        "memory-bound streams of small fragmented ops — exactly what the\n"
+        "AdArray's circular-convolution streaming mode and re-organizable\n"
+        "memory are built to fix."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,106 @@
+#!/usr/bin/env python3
+"""Deploying your own NSAI workload through NSFlow.
+
+The frontend consumes *traces*, so any program expressible as NN GEMM
+layers + VSA kernels + element-wise ops can be compiled. This example
+builds a small neuro-symbolic "scene query" model from scratch — a CNN
+encoder, a resonator-style factorization stage, and a codebook lookup —
+records its trace with the Tracer API, and hands it to the toolchain.
+
+Usage:  python examples/custom_workload.py
+"""
+
+from repro import NSFlow
+from repro.nn import build_small_cnn
+from repro.nn.gemm import GemmDims
+from repro.trace import ExecutionUnit, OpDomain, Tracer, trace_to_listing
+from repro.trace.opnode import Trace
+from repro.vsa import Codebook, ResonatorNetwork
+from repro.workloads.base import NSAIWorkload
+
+
+class SceneQueryWorkload(NSAIWorkload):
+    """CNN perception → resonator factorization → codebook cleanup."""
+
+    name = "scene_query"
+
+    def __init__(self, blocks: int = 4, block_dim: int = 512,
+                 resonator_iterations: int = 8):
+        self.blocks = blocks
+        self.block_dim = block_dim
+        self.resonator_iterations = resonator_iterations
+        self.cnn = build_small_cnn("encoder", num_classes=256, depth=4, rng=0)
+        self.codebooks = [
+            Codebook.random("color", ["red", "green", "blue", "yellow"],
+                            blocks, block_dim, rng=0),
+            Codebook.random("shape", ["cube", "ball", "cone"],
+                            blocks, block_dim, rng=1),
+            Codebook.random("position", [str(i) for i in range(9)],
+                            blocks, block_dim, rng=2),
+        ]
+        self.resonator = ResonatorNetwork(self.codebooks)
+
+    def factorize_demo(self) -> list[str]:
+        """Functional check: recover the factors of a bound scene vector."""
+        scene = (
+            self.codebooks[0]["green"]
+            .bind(self.codebooks[1]["ball"])
+            .bind(self.codebooks[2]["4"])
+        )
+        return self.resonator.factorize(scene).labels
+
+    def component_elements(self) -> dict[str, int]:
+        neural = self.cnn.weight_elements()
+        symbolic = sum(cb.n_elements for cb in self.codebooks)
+        return {"neural": neural, "symbolic": symbolic}
+
+    def build_trace(self) -> Trace:
+        tracer = Tracer(self.name)
+        tail, _ = tracer.record_network(self.cnn.describe((1, 1, 64, 64)))
+        d = self.block_dim
+        vec = self.blocks * d
+
+        # Encode the CNN embedding into a scene vector (a GEMM).
+        enc = tracer.record(
+            "pmf_to_vsa", OpDomain.SYMBOLIC, ExecutionUnit.ARRAY_NN,
+            (tail.name,), (1, self.blocks, d),
+            gemm=GemmDims(m=1, n=vec, k=256),
+        )
+        # Resonator sweeps: per iteration, each factor unbinds the others
+        # and projects onto its codebook.
+        last = enc
+        for it in range(self.resonator_iterations):
+            for cb in self.codebooks:
+                unbind = tracer.record_binding(
+                    (last.name,), n_vectors=(len(self.codebooks) - 1) * self.blocks,
+                    dim=d, inverse=True, params={"iteration": it, "factor": cb.name},
+                )
+                project = tracer.record(
+                    "match_prob_multi_batched", OpDomain.SYMBOLIC,
+                    ExecutionUnit.ARRAY_NN, (unbind.name,), (1, cb.size),
+                    gemm=GemmDims(m=1, n=cb.size, k=vec),
+                )
+                last = tracer.record_simd("softmax", (project.name,), (1, cb.size))
+        tracer.record_host("argmax", (last.name,))
+        return tracer.finish()
+
+
+def main() -> None:
+    workload = SceneQueryWorkload()
+    print("Functional check — factorizing scene = green ⊛ ball ⊛ position-4:")
+    print("  resonator recovered:", workload.factorize_demo())
+
+    trace = workload.build_trace()
+    print(f"\nRecorded trace: {len(trace)} ops "
+          f"({len(trace.neural_ops)} neural, {len(trace.symbolic_ops)} symbolic)")
+    print("\n" + "\n".join(trace_to_listing(trace).splitlines()[:6]))
+
+    design = NSFlow(max_pes=1024).compile(workload)
+    print(f"\nCompiled design: AdArray {design.config.geometry}, "
+          f"mode {design.config.mode.value}, SIMD {design.config.simd_width}")
+    print(f"Simulated latency: {design.latency_ms:.3f} ms; "
+          f"fits U250: {design.resources.fits()}")
+
+
+if __name__ == "__main__":
+    main()

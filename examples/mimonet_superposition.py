@@ -1,0 +1,58 @@
+#!/usr/bin/env python3
+"""MIMONet: computation in superposition on CVR-style images.
+
+Binds several images with private VSA keys, superposes them into a single
+tensor, and shows that each payload remains individually recoverable and
+re-identifiable — the property MIMONets exploit to process multiple
+inputs with one network pass (paper Table I, ref. [28]). Then sweeps the
+superposition width to show how retrieval degrades gracefully as
+crosstalk accumulates.
+
+Usage:  python examples/mimonet_superposition.py
+"""
+
+import numpy as np
+
+from repro.datasets import generate_relational_dataset
+from repro.workloads.mimonet import MimoNetConfig, MimoNetWorkload
+
+
+def main() -> None:
+    image_size = 64
+    library = generate_relational_dataset("cvr", 64, image_size=image_size, seed=1)
+    print(f"Library: {len(library)} CVR-style images ({image_size}x{image_size}).")
+
+    for k in (2, 3, 4, 6):
+        workload = MimoNetWorkload(
+            MimoNetConfig(image_size=image_size, cnn_width=8, cnn_depth=2,
+                          superposition=k, seed=0)
+        )
+        groups = [library[k * i : k * (i + 1)] for i in range(len(library) // k)]
+        acc = workload.retrieval_accuracy(groups, library)
+
+        # Measure per-slot recovery fidelity on the first group.
+        sup = workload.superpose(groups[0])
+        sims = []
+        for slot, item in enumerate(groups[0]):
+            rec = workload.recover(sup, slot).reshape(-1)
+            tgt = item.image.reshape(-1)
+            sims.append(
+                float(np.dot(rec, tgt)
+                      / (np.linalg.norm(rec) * np.linalg.norm(tgt) + 1e-12))
+            )
+        print(f"  k={k}: retrieval accuracy {100 * acc:5.1f}%   "
+              f"mean recovery cosine {np.mean(sims):.3f} "
+              f"(crosstalk grows with k)")
+
+    # The deployment view: one CNN pass regardless of k.
+    workload = MimoNetWorkload(MimoNetConfig(superposition=4))
+    trace = workload.build_trace()
+    convs = sum(1 for op in trace if op.kind == "conv2d")
+    binds = sum(1 for op in trace if "binding" in op.kind)
+    print(f"\nDeployment trace (k=4): {convs} conv layers executed once, "
+          f"{binds} bind/unbind kernels — the neural cost is amortized "
+          f"over all {workload.config.superposition} inputs.")
+
+
+if __name__ == "__main__":
+    main()

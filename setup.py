@@ -1,0 +1,11 @@
+"""Setup shim so legacy editable installs work offline.
+
+The environment this reproduction targets has no network access and no
+``wheel`` package, which PEP 660 editable installs require. ``setup.py``
+lets ``pip install -e . --no-build-isolation`` fall back to the legacy
+``develop`` path. All metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

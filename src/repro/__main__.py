@@ -1,0 +1,7 @@
+"""``python -m repro`` — the NSFlow compiler driver (see flow/cli.py)."""
+
+import sys
+
+from .flow.cli import main
+
+sys.exit(main())

@@ -1,0 +1,41 @@
+"""NSFlow backend: the flexible hardware architecture (paper Sec. IV).
+
+A cycle-level functional simulator of the accelerator template the
+frontend parameterizes: the adaptive systolic array (AdArray) with its
+passing-register circular-convolution streaming mode and sub-array
+folding, the custom SIMD unit, the re-organizable on-chip memory system
+(MemA1/MemA2/MemB/MemC + URAM cache, double-buffered), the AXI/DRAM
+bandwidth model, the controller that schedules dataflow graphs, the FPGA
+resource estimator behind Table III, and the RTL parameter generator.
+"""
+
+from .pe import ProcessingElement
+from .column import ColumnResult, simulate_column
+from .adarray import AdArray, ArrayOpResult
+from .simd import SimdUnit, SimdOpResult
+from .memory import DoubleBufferedMemory, OnChipMemorySystem
+from .dram import DramModel
+from .controller import Controller, ScheduleResult
+from .resources import FpgaDevice, ResourceEstimate, U250, ZCU104, estimate_resources
+from .rtlgen import generate_rtl_parameters
+
+__all__ = [
+    "ProcessingElement",
+    "ColumnResult",
+    "simulate_column",
+    "AdArray",
+    "ArrayOpResult",
+    "SimdUnit",
+    "SimdOpResult",
+    "DoubleBufferedMemory",
+    "OnChipMemorySystem",
+    "DramModel",
+    "Controller",
+    "ScheduleResult",
+    "FpgaDevice",
+    "ResourceEstimate",
+    "U250",
+    "ZCU104",
+    "estimate_resources",
+    "generate_rtl_parameters",
+]

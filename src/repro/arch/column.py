@@ -1,0 +1,140 @@
+"""Register-accurate simulation of one AdArray column in VSA mode.
+
+This reproduces the Fig. 3(b) schedule exactly: vector A sits in the
+stationary registers; vector B streams cyclically from SRAM through the
+passing/streaming register chain (2 cycles/PE); partial-sum wavefronts
+travel down the 3-stage psum pipelines (3 cycles/PE). The 1-cycle-per-PE
+slip between the two fronts is what makes each wavefront ``w`` accumulate
+
+    ``C[w] = Σ_k A[k] · B[(k + w) mod d]``
+
+— blockwise circular *correlation* (the paper's worked example computes
+the same family with the B stream reversed; see DESIGN.md). Binding
+(circular convolution) streams B in reverse index order and un-permutes
+the outputs.
+
+The measured wall-clock of a ``d``-element operation on an ``H``-PE
+column is ``T + 3`` cycles, where ``T = 3H + d − 1`` is the paper's Eq. 3/4
+streaming latency and the +3 covers the injection registers before PE 0's
+first MAC — tests assert this relationship exactly, which is the bridge
+between the analytical model and the RTL-level behaviour.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import ShapeError, SimulationError
+from ..model.runtime import vsa_streaming_latency
+from .pe import ProcessingElement
+
+__all__ = ["ColumnResult", "simulate_column"]
+
+#: Injection pipeline depth before PE 0's streaming register is live.
+WARMUP_CYCLES = 3
+
+
+@dataclass(frozen=True)
+class ColumnResult:
+    """Output of one column-level VSA operation."""
+
+    values: np.ndarray        # the d outputs, in index order
+    latency_cycles: int       # paper convention: T = 3H + d − 1
+    wall_cycles: int          # measured: T + WARMUP_CYCLES
+    mac_count: int            # MACs with live wavefronts (= H · d)
+
+
+def simulate_column(
+    a: np.ndarray,
+    b: np.ndarray,
+    height: int,
+    mode: str = "correlation",
+) -> ColumnResult:
+    """Run one circular correlation/convolution on an ``height``-PE column.
+
+    ``a`` is held stationary (requires ``len(a) <= height``; longer vectors
+    are folded at the :class:`~repro.arch.adarray.AdArray` level), ``b``
+    streams from SRAM. ``mode`` selects unbinding (``correlation``) or
+    binding (``convolution``).
+    """
+    a = np.asarray(a, dtype=np.float64).reshape(-1)
+    b = np.asarray(b, dtype=np.float64).reshape(-1)
+    d = b.size
+    if d < 1 or a.size < 1:
+        raise ShapeError("vectors must be non-empty")
+    if a.size > d:
+        raise ShapeError(f"stationary length {a.size} exceeds stream length {d}")
+    if a.size > height:
+        raise ShapeError(
+            f"stationary length {a.size} exceeds column height {height}; "
+            "fold at the array level"
+        )
+    if mode == "convolution" and a.size != d:
+        raise ShapeError("convolution mode needs equal-length operands")
+    if mode not in ("correlation", "convolution"):
+        raise SimulationError(f"unknown column mode {mode!r}")
+
+    # Binding = correlation with the streamed operand index-reversed, then
+    # an output re-indexing (see module docstring). A stationary operand
+    # shorter than the stream (a folded chunk) simply leaves the remaining
+    # PEs at zero — their MACs contribute nothing.
+    stream = b if mode == "correlation" else b[::-1]
+
+    pes = [ProcessingElement() for _ in range(height)]
+    for k in range(a.size):
+        pes[k].load_stationary(a[k])
+
+    t_latency = vsa_streaming_latency(height, d)
+    total_cycles = t_latency + WARMUP_CYCLES
+    outputs = np.zeros(d)
+    collected = 0
+    mac_count = 0
+
+    for t in range(total_cycles):
+        # Sample all outputs first (two-phase register semantics).
+        sampled = [pe.outputs() for pe in pes]
+        # Collect finished wavefronts at the column bottom. Wavefront w
+        # exits during cycle 3·height + w + WARMUP_CYCLES − 1; equivalently
+        # the first valid bottom output appears at t = 3·height + 2.
+        bottom_stream, bottom_psum, bottom_valid = sampled[-1]
+        if bottom_valid:
+            if collected >= d:
+                raise SimulationError("column produced more outputs than d")
+            outputs[collected] = bottom_psum
+            collected += 1
+        # Count live MACs for utilization accounting.
+        for pe in pes:
+            if pe.psum_valid[0]:
+                mac_count += 1
+        # Advance: PE 0 takes the cyclic SRAM stream; wavefront validity is
+        # injected for d consecutive cycles starting at WARMUP_CYCLES - 1.
+        stream_in = float(stream[t % d])
+        psum_in = 0.0
+        psum_valid = (WARMUP_CYCLES - 1) <= t < (WARMUP_CYCLES - 1 + d)
+        for k, pe in enumerate(pes):
+            if k == 0:
+                pe.step(stream_in, psum_in, psum_valid)
+            else:
+                s_prev, p_prev, v_prev = sampled[k - 1]
+                pe.step(s_prev, p_prev, v_prev)
+
+    if collected != d:
+        raise SimulationError(
+            f"column collected {collected}/{d} outputs in {total_cycles} cycles"
+        )
+
+    if mode == "convolution":
+        # With the stream reversed, wavefront w accumulates
+        # Σ_k A[k]·B[(d−1−k−w) mod d] = conv[d−1−w]: reverse the outputs.
+        values = outputs[::-1].copy()
+    else:
+        values = outputs
+
+    return ColumnResult(
+        values=values,
+        latency_cycles=t_latency,
+        wall_cycles=total_cycles,
+        mac_count=mac_count,
+    )

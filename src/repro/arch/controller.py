@@ -1,0 +1,204 @@
+"""Control logic: scheduling a dataflow graph onto an instantiated design.
+
+The controller performs the hardware-level task scheduling of Sec. IV-A:
+it walks the dataflow graph in dependency order, assigns each node to its
+execution unit (the NN partition of the AdArray, the VSA partition, the
+SIMD unit, or the host), overlaps DRAM transfers with compute through the
+double-buffered memories, and accounts stalls when a node's working set
+exceeds its memory block. The result is the backend's cycle count — the
+number the analytical model (Eqs. 1-5) predicts, which tests cross-check.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..dse.config import DesignConfig, ExecutionMode
+from ..errors import ScheduleError
+from ..graph.dataflow import DataflowGraph, DataflowNode
+from ..model.runtime import layer_runtime, simd_runtime, vsa_node_runtime
+from ..trace.opnode import ExecutionUnit, OpDomain
+from .dram import DramModel
+from .memory import OnChipMemorySystem
+
+__all__ = ["Controller", "ScheduleResult"]
+
+
+@dataclass(frozen=True)
+class ScheduleResult:
+    """Outcome of scheduling one dataflow graph."""
+
+    workload: str
+    total_cycles: int
+    unit_busy_cycles: dict[str, int]
+    dram_cycles: int
+    spill_cycles: int
+    node_finish: dict[str, int] = field(repr=False, default_factory=dict)
+    memory_report: dict[str, dict[str, int]] = field(repr=False, default_factory=dict)
+
+    def latency_s(self, clock_mhz: float) -> float:
+        return self.total_cycles / (clock_mhz * 1e6)
+
+    def utilization(self, unit: str) -> float:
+        busy = self.unit_busy_cycles.get(unit, 0)
+        return busy / max(1, self.total_cycles)
+
+
+class Controller:
+    """Schedules dataflow graphs on a frontend-generated design."""
+
+    def __init__(
+        self,
+        config: DesignConfig,
+        dram: DramModel | None = None,
+        fuse_simd: bool = True,
+    ):
+        self.config = config
+        self.dram = dram or DramModel(clock_mhz=config.clock_mhz)
+        self.memory = OnChipMemorySystem(config.memory)
+        #: When False, element-wise SIMD ops run standalone instead of
+        #: overlapping their producer's drain (ablation knob, Sec. IV-E).
+        self.fuse_simd = fuse_simd
+
+    # -- per-node cost ------------------------------------------------------------
+
+    def _partition_for(self, node: DataflowNode, index_in_unit: int) -> int:
+        cfg = self.config
+        if cfg.mode is ExecutionMode.SEQUENTIAL:
+            return cfg.n_sub
+        if node.unit is ExecutionUnit.ARRAY_NN:
+            if index_in_unit < len(cfg.nl):
+                return cfg.nl[index_in_unit]
+            return cfg.nl_bar if cfg.nl_bar >= 1 else cfg.n_sub
+        if node.unit is ExecutionUnit.ARRAY_VSA:
+            if index_in_unit < len(cfg.nv):
+                return cfg.nv[index_in_unit]
+            return max(cfg.nv_bar, 1)
+        raise ScheduleError(f"{node.name}: not an array node")
+
+    def _compute_cycles(self, node: DataflowNode, index_in_unit: int) -> int:
+        cfg = self.config
+        if node.unit is ExecutionUnit.HOST:
+            return 0
+        if node.unit is ExecutionUnit.SIMD:
+            return simd_runtime(node.op.flops, cfg.simd_width)
+        alloc = self._partition_for(node, index_in_unit)
+        if node.unit is ExecutionUnit.ARRAY_NN:
+            assert node.gemm is not None
+            return layer_runtime(cfg.h, cfg.w, alloc, node.gemm)
+        assert node.vsa is not None
+        return vsa_node_runtime(cfg.h, cfg.w, alloc, node.vsa, "best")
+
+    def _scaled_bytes(self, node: DataflowNode) -> int:
+        """Trace FP32 byte counters rescaled to the deployed precision."""
+        prec = self.config.precision
+        per_elem = (
+            prec.neural.bytes_per_element
+            if node.domain is OpDomain.NEURAL
+            else prec.symbolic.bytes_per_element
+        )
+        return int(node.op.total_bytes / 4 * per_elem)
+
+    # -- scheduling ------------------------------------------------------------------
+
+    def schedule(self, graph: DataflowGraph) -> ScheduleResult:
+        """Event-driven list scheduling over the dataflow graph.
+
+        Each node starts when its producers have finished *and* its unit
+        is free; its duration is ``max(compute, DRAM transfer)`` thanks to
+        double buffering, plus a non-overlapped spill penalty when an
+        output exceeds MemC.
+        """
+        cfg = self.config
+        sequential = cfg.mode is ExecutionMode.SEQUENTIAL
+
+        def unit_key(node: DataflowNode) -> str:
+            if node.unit in (ExecutionUnit.ARRAY_NN, ExecutionUnit.ARRAY_VSA):
+                return "array" if sequential else node.unit.value
+            return node.unit.value
+
+        unit_free: dict[str, int] = {}
+        unit_busy: dict[str, int] = {}
+        finish: dict[str, int] = {}
+        compute_of: dict[str, int] = {}
+        dram_busy = 0
+        spill_total = 0
+        unit_index: dict[ExecutionUnit, int] = {
+            ExecutionUnit.ARRAY_NN: 0,
+            ExecutionUnit.ARRAY_VSA: 0,
+        }
+        mem_c_capacity = cfg.memory.mem_c_bytes
+        array_units = (ExecutionUnit.ARRAY_NN, ExecutionUnit.ARRAY_VSA)
+
+        for name in graph.topological_order():
+            node = graph.node(name)
+            idx = 0
+            if node.unit in unit_index:
+                idx = unit_index[node.unit]
+                unit_index[node.unit] += 1
+            compute = self._compute_cycles(node, idx)
+            fused = False
+            if node.unit is ExecutionUnit.SIMD and self.fuse_simd:
+                # Fusion: SIMD ops draining an array op's output overlap
+                # its cycles (line-rate post-processing, Sec. IV-E); only
+                # the excess shows up as latency, and the data never
+                # leaves the on-chip drain path, so no DRAM traffic.
+                overlap = max(
+                    (
+                        compute_of[p]
+                        for p in graph.predecessors(name)
+                        if p in compute_of and graph.node(p).unit in array_units
+                    ),
+                    default=0,
+                )
+                if overlap > 0:
+                    fused = True
+                    compute = max(
+                        simd_runtime(0, cfg.simd_width), compute - overlap
+                    )
+            compute_of[name] = compute
+            transfer = (
+                0 if fused else self.dram.transfer_cycles(self._scaled_bytes(node))
+            )
+            duration = max(compute, transfer)
+            dram_busy += transfer
+
+            # Non-overlapped spill when the output exceeds MemC.
+            out_bytes = self._scaled_bytes_out(node)
+            spill = 0
+            if out_bytes > mem_c_capacity:
+                spill = self.dram.transfer_cycles(out_bytes - mem_c_capacity)
+                spill_total += spill
+            duration += spill
+
+            key = unit_key(node)
+            deps_done = max(
+                (finish[d] for d in graph.predecessors(name)), default=0
+            )
+            start = max(deps_done, unit_free.get(key, 0))
+            end = start + duration
+            finish[name] = end
+            unit_free[key] = end
+            unit_busy[key] = unit_busy.get(key, 0) + duration
+
+        if not finish:
+            raise ScheduleError("cannot schedule an empty graph")
+        total = max(finish.values())
+        return ScheduleResult(
+            workload=graph.workload,
+            total_cycles=total,
+            unit_busy_cycles=unit_busy,
+            dram_cycles=dram_busy,
+            spill_cycles=spill_total,
+            node_finish=finish,
+            memory_report=self.memory.report(),
+        )
+
+    def _scaled_bytes_out(self, node: DataflowNode) -> int:
+        prec = self.config.precision
+        per_elem = (
+            prec.neural.bytes_per_element
+            if node.domain is OpDomain.NEURAL
+            else prec.symbolic.bytes_per_element
+        )
+        return int(node.op.bytes_written / 4 * per_elem)

@@ -1,0 +1,51 @@
+"""Off-chip memory model: AXI bursts to DRAM (paper Sec. III-B).
+
+"The CPU executes the host binary code to run FPGA kernels and manages
+off-chip memory transactions through AXI interfaces." The model is a
+bandwidth pipe with per-burst latency: a transfer of ``B`` bytes costs
+``latency + ⌈B / bytes_per_cycle⌉`` cycles at the accelerator clock.
+Double buffering lets the controller overlap these cycles with compute.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import ConfigError
+from ..utils import ceil_div
+
+__all__ = ["DramModel"]
+
+
+@dataclass(frozen=True)
+class DramModel:
+    """DDR4-over-AXI bandwidth model.
+
+    Defaults approximate an Alveo U250 bank set: 4 × DDR4-2400 channels
+    (~77 GB/s peak, ~70 % achievable) at a 272 MHz fabric clock; the
+    effective bytes/cycle follows from those two numbers.
+    """
+
+    bandwidth_gb_s: float = 54.0
+    clock_mhz: float = 272.0
+    burst_latency_cycles: int = 32
+
+    def __post_init__(self) -> None:
+        if self.bandwidth_gb_s <= 0 or self.clock_mhz <= 0:
+            raise ConfigError("bandwidth and clock must be positive")
+        if self.burst_latency_cycles < 0:
+            raise ConfigError("burst latency must be >= 0")
+
+    @property
+    def bytes_per_cycle(self) -> float:
+        return self.bandwidth_gb_s * 1e9 / (self.clock_mhz * 1e6)
+
+    def transfer_cycles(self, nbytes: int) -> int:
+        """Cycles to move ``nbytes`` between DRAM and on-chip memory."""
+        if nbytes < 0:
+            raise ConfigError(f"negative transfer size {nbytes}")
+        if nbytes == 0:
+            return 0
+        return self.burst_latency_cycles + ceil_div(
+            nbytes, max(1, int(self.bytes_per_cycle))
+        )

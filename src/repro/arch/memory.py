@@ -1,0 +1,161 @@
+"""Re-organizable on-chip memory system (paper Sec. IV-C).
+
+Three double-buffered SRAM blocks plus a URAM cache:
+
+* **MemA** — stationary operands, partitioned into **MemA1** (NN filters)
+  and **MemA2** (VSA vectors) so both kinds load simultaneously for the
+  folded AdArray; the two chunks *merge into one* at runtime when only one
+  kind of operation is running (``merge_a`` / ``split_a``);
+* **MemB** — the IFMAP buffer feeding the array's horizontal inputs (NN
+  mode only);
+* **MemC** — array/SIMD outputs, read back by compute units or drained to
+  MemA/MemB or off-chip DRAM;
+* **cache** — URAM block buffering intermediate results for all three.
+
+Every block is double-buffered: one bank serves the compute units while
+the other exchanges data with DRAM; ``swap`` flips the banks. Capacity
+violations raise :class:`~repro.errors.ResourceError` — the frontend's
+sizing rules exist precisely so they never fire for the planned workload,
+and tests inject failures to prove the checks are real.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..errors import ResourceError, SimulationError
+from ..model.memory import MemoryPlan
+
+__all__ = ["DoubleBufferedMemory", "OnChipMemorySystem"]
+
+
+@dataclass
+class DoubleBufferedMemory:
+    """Two equally-sized banks with an active/shadow role swap."""
+
+    name: str
+    capacity_bytes: int
+    _active_used: int = 0
+    _shadow_used: int = 0
+    _peak_used: int = field(default=0, repr=False)
+    _swaps: int = field(default=0, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.capacity_bytes < 1:
+            raise ResourceError(f"{self.name}: capacity must be >= 1 byte")
+
+    @property
+    def peak_used(self) -> int:
+        return self._peak_used
+
+    @property
+    def swaps(self) -> int:
+        return self._swaps
+
+    @property
+    def active_used(self) -> int:
+        return self._active_used
+
+    def allocate(self, nbytes: int, shadow: bool = False) -> None:
+        """Reserve bytes in one bank (DRAM prefetch targets the shadow)."""
+        if nbytes < 0:
+            raise SimulationError(f"{self.name}: negative allocation")
+        used = self._shadow_used if shadow else self._active_used
+        if used + nbytes > self.capacity_bytes:
+            bank = "shadow" if shadow else "active"
+            raise ResourceError(
+                f"{self.name}: {bank} bank overflow — "
+                f"{used + nbytes} > capacity {self.capacity_bytes} bytes"
+            )
+        if shadow:
+            self._shadow_used += nbytes
+        else:
+            self._active_used += nbytes
+        self._peak_used = max(self._peak_used, self._active_used, self._shadow_used)
+
+    def free(self, nbytes: int, shadow: bool = False) -> None:
+        used = self._shadow_used if shadow else self._active_used
+        if nbytes > used:
+            raise SimulationError(f"{self.name}: freeing more than allocated")
+        if shadow:
+            self._shadow_used -= nbytes
+        else:
+            self._active_used -= nbytes
+
+    def swap(self) -> None:
+        """Flip active/shadow roles (end of a double-buffer phase)."""
+        self._active_used, self._shadow_used = self._shadow_used, self._active_used
+        self._swaps += 1
+
+    def reset(self) -> None:
+        self._active_used = 0
+        self._shadow_used = 0
+
+
+class OnChipMemorySystem:
+    """MemA1/MemA2/MemB/MemC + cache, with runtime MemA merging."""
+
+    def __init__(self, plan: MemoryPlan):
+        self.plan = plan
+        self.mem_a1 = DoubleBufferedMemory("MemA1", plan.mem_a1_bytes)
+        self.mem_a2 = DoubleBufferedMemory("MemA2", plan.mem_a2_bytes)
+        self.mem_b = DoubleBufferedMemory("MemB", plan.mem_b_bytes)
+        self.mem_c = DoubleBufferedMemory("MemC", plan.mem_c_bytes)
+        self.cache = DoubleBufferedMemory("Cache", plan.cache_bytes)
+        self._merged = False
+
+    @property
+    def merged(self) -> bool:
+        return self._merged
+
+    def merge_a(self) -> None:
+        """Merge MemA1+MemA2 into one block (single-kind phases).
+
+        Allowed only when MemA2 is empty — merging repurposes its banks.
+        """
+        if self._merged:
+            return
+        if self.mem_a2.active_used > 0:
+            raise SimulationError("cannot merge MemA while MemA2 holds live data")
+        self._merged = True
+        self.mem_a1 = DoubleBufferedMemory(
+            "MemA(merged)", self.plan.mem_a1_bytes + self.plan.mem_a2_bytes,
+        )
+
+    def split_a(self) -> None:
+        """Restore the MemA1/MemA2 partition (parallel NN+VSA phases)."""
+        if not self._merged:
+            return
+        if self.mem_a1.active_used > self.plan.mem_a1_bytes:
+            raise SimulationError(
+                "cannot split MemA: merged contents exceed the MemA1 chunk"
+            )
+        self._merged = False
+        self.mem_a1 = DoubleBufferedMemory("MemA1", self.plan.mem_a1_bytes)
+        self.mem_a2 = DoubleBufferedMemory("MemA2", self.plan.mem_a2_bytes)
+
+    def block_for(self, kind: str) -> DoubleBufferedMemory:
+        """The block a data class lives in: filters/vectors/ifmaps/outputs."""
+        table = {
+            "filter": self.mem_a1,
+            "vector": self.mem_a1 if self._merged else self.mem_a2,
+            "ifmap": self.mem_b,
+            "output": self.mem_c,
+            "intermediate": self.cache,
+        }
+        try:
+            return table[kind]
+        except KeyError as exc:
+            raise SimulationError(f"unknown data class {kind!r}") from exc
+
+    def report(self) -> dict[str, dict[str, int]]:
+        """Peak usage and swap counts per block (for the controller)."""
+        blocks = [self.mem_a1, self.mem_a2, self.mem_b, self.mem_c, self.cache]
+        return {
+            b.name: {
+                "capacity": b.capacity_bytes,
+                "peak_used": b.peak_used,
+                "swaps": b.swaps,
+            }
+            for b in blocks
+        }

@@ -1,0 +1,79 @@
+"""The AdArray processing element (paper Fig. 3(b)).
+
+Each PE carries four registers beyond a traditional systolic PE:
+
+* ``stationary`` — holds one element of vector A (or a weight in NN mode);
+* ``passing``    — the extra register that delays the streamed operand one
+  cycle before it becomes visible to the MAC, creating the 1-cycle pace
+  mismatch between the A and B wavefronts that circular convolution needs;
+* ``streaming``  — the element of vector B currently visible to the MAC;
+* ``psum``       — a three-stage partial-sum pipeline (MAC entry plus two
+  delay slots), so partial sums travel at 3 cycles/PE while the streamed
+  operand travels at 2 cycles/PE — the wavefront slip of 1 cycle/PE.
+
+In NN mode the passing register is bypassed (multiplexer) and the PE
+behaves like a standard weight-stationary systolic cell.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["ProcessingElement"]
+
+#: Partial sums spend this many register stages in each PE (MAC + 2 delays).
+PSUM_STAGES = 3
+
+
+@dataclass
+class ProcessingElement:
+    """Register-level state of one PE in VSA streaming mode."""
+
+    stationary: float = 0.0
+    passing: float = 0.0
+    streaming: float = 0.0
+    #: psum pipeline, index 0 = MAC stage, higher = older.
+    psum: list[float] = field(default_factory=lambda: [0.0] * PSUM_STAGES)
+    #: Valid bits tracking which psum slots carry live wavefronts.
+    psum_valid: list[bool] = field(default_factory=lambda: [False] * PSUM_STAGES)
+
+    def load_stationary(self, value: float) -> None:
+        self.stationary = float(value)
+
+    def outputs(self) -> tuple[float, float, bool]:
+        """Values presented to the neighbours this cycle (current latches).
+
+        ``stream_out`` is the streaming register (the operand dwells two
+        cycles per PE: one in ``passing``, one in ``streaming``, before
+        moving to the next PE's passing register); ``psum_out`` is the
+        oldest partial-sum stage.
+        """
+        return self.streaming, self.psum[-1], self.psum_valid[-1]
+
+    def step(
+        self,
+        stream_in: float,
+        psum_in: float,
+        psum_in_valid: bool,
+    ) -> None:
+        """Latch one clock edge.
+
+        ``stream_in`` comes from the previous PE's :meth:`outputs` (or the
+        SRAM port for PE 0); ``psum_in`` likewise from the PE above. All
+        PEs must have their :meth:`outputs` sampled *before* any ``step``
+        is applied — standard two-phase register-transfer semantics.
+        """
+        # Shift psum pipeline and perform the MAC at the entry stage. The
+        # MAC multiplies the stationary element by the operand currently
+        # visible in the streaming register.
+        for s in range(PSUM_STAGES - 1, 0, -1):
+            self.psum[s] = self.psum[s - 1]
+            self.psum_valid[s] = self.psum_valid[s - 1]
+        mac = self.stationary * self.streaming
+        self.psum[0] = psum_in + mac if psum_in_valid else 0.0
+        self.psum_valid[0] = psum_in_valid
+
+        # Streamed operand: passing → streaming → (next PE) with one cycle
+        # in each register (the 1-cycle pace mismatch vs the psum front).
+        self.streaming = self.passing
+        self.passing = float(stream_in)

@@ -1,0 +1,77 @@
+"""RTL parameter generation (paper Fig. 2, "RTL basic blocks (.v)").
+
+NSFlow keeps pre-defined RTL for every block "with scaling parameters
+subject to the design configuration generated from DAG". The synthesis
+step itself needs vendor tools we cannot ship, so this module generates
+the *parameterized instantiation*: a Verilog header defining every scaling
+parameter plus a top-level instantiation stub — the hand-off artifact
+between the generated configuration and the pre-defined RTL library.
+"""
+
+from __future__ import annotations
+
+from ..dse.config import DesignConfig, ExecutionMode
+from ..quant import Precision
+from ..utils import ceil_div
+
+__all__ = ["generate_rtl_parameters"]
+
+_PRECISION_BITS = {
+    Precision.FP32: 32,
+    Precision.FP16: 16,
+    Precision.FP8: 8,
+    Precision.INT8: 8,
+    Precision.INT4: 4,
+}
+
+_BRAM_BYTES = 18 * 1024 // 8
+_URAM_BYTES = 288 * 1024 // 8
+
+
+def generate_rtl_parameters(config: DesignConfig) -> str:
+    """Render the design-config as a Verilog parameter header (.vh)."""
+    mem = config.memory
+    lines = [
+        "// -----------------------------------------------------------------",
+        f"// NSFlow generated parameters — workload: {config.workload}",
+        "// Consumed by the pre-defined RTL basic blocks (adarray.v, simd.v,",
+        "// memsys.v, ctrl.v). Do not edit; regenerate from the frontend.",
+        "// -----------------------------------------------------------------",
+        "",
+        f"`define NSFLOW_SUBARRAY_H      {config.h}",
+        f"`define NSFLOW_SUBARRAY_W      {config.w}",
+        f"`define NSFLOW_NUM_SUBARRAYS   {config.n_sub}",
+        f"`define NSFLOW_TOTAL_PES       {config.total_pes}",
+        f"`define NSFLOW_MODE_PARALLEL   {1 if config.mode is ExecutionMode.PARALLEL else 0}",
+        f"`define NSFLOW_DEFAULT_NL      {config.nl_bar}",
+        f"`define NSFLOW_DEFAULT_NV      {config.nv_bar}",
+        "",
+        f"`define NSFLOW_NN_WIDTH_BITS   {_PRECISION_BITS[config.precision.neural]}",
+        f"`define NSFLOW_SYMB_WIDTH_BITS {_PRECISION_BITS[config.precision.symbolic]}",
+        "",
+        f"`define NSFLOW_SIMD_LANES      {config.simd_width}",
+        "",
+        f"`define NSFLOW_MEMA1_BYTES     {mem.mem_a1_bytes}",
+        f"`define NSFLOW_MEMA2_BYTES     {mem.mem_a2_bytes}",
+        f"`define NSFLOW_MEMB_BYTES      {mem.mem_b_bytes}",
+        f"`define NSFLOW_MEMC_BYTES      {mem.mem_c_bytes}",
+        f"`define NSFLOW_CACHE_BYTES     {mem.cache_bytes}",
+        f"`define NSFLOW_MEMA1_BRAM18    {ceil_div(mem.mem_a1_bytes, _BRAM_BYTES)}",
+        f"`define NSFLOW_MEMA2_BRAM18    {ceil_div(mem.mem_a2_bytes, _BRAM_BYTES)}",
+        f"`define NSFLOW_MEMB_BRAM18     {ceil_div(mem.mem_b_bytes, _BRAM_BYTES)}",
+        f"`define NSFLOW_MEMC_BRAM18     {ceil_div(mem.mem_c_bytes, _BRAM_BYTES)}",
+        f"`define NSFLOW_CACHE_URAM      {ceil_div(mem.cache_bytes, _URAM_BYTES)}",
+        "",
+        f"`define NSFLOW_CLOCK_MHZ       {int(config.clock_mhz)}",
+        "",
+        "// Top-level instantiation stub:",
+        "//",
+        "//   nsflow_top #(",
+        "//     .H(`NSFLOW_SUBARRAY_H), .W(`NSFLOW_SUBARRAY_W),",
+        "//     .N(`NSFLOW_NUM_SUBARRAYS), .SIMD(`NSFLOW_SIMD_LANES),",
+        "//     .NN_BITS(`NSFLOW_NN_WIDTH_BITS),",
+        "//     .SYMB_BITS(`NSFLOW_SYMB_WIDTH_BITS)",
+        "//   ) u_nsflow (.clk(clk_272mhz), .rst_n(rst_n), .axi(m_axi));",
+        "",
+    ]
+    return "\n".join(lines)

@@ -1,0 +1,132 @@
+"""The custom SIMD unit (paper Sec. IV-E).
+
+"Multiple processing elements, each equipped with compact logic circuits
+(sum, mult/div, exp/log/tanh, norm, softmax, etc.)" — a lane-parallel
+vector unit that drains the array's outputs and performs reductions,
+element-wise math and similarity scoring. Functional results are exact;
+cycles follow :func:`repro.model.runtime.simd_runtime`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import ConfigError, SimulationError
+from ..model.runtime import simd_runtime
+
+__all__ = ["SimdUnit", "SimdOpResult"]
+
+
+@dataclass(frozen=True)
+class SimdOpResult:
+    """One vector operation retired by the SIMD unit."""
+
+    values: np.ndarray
+    cycles: int
+    kind: str
+
+
+class SimdUnit:
+    """Functional + cycle model of the SIMD unit."""
+
+    #: Operations with dedicated lane circuits (Sec. IV-E).
+    SUPPORTED = (
+        "sum", "mul", "div", "max", "min", "relu", "exp", "log", "tanh",
+        "norm", "softmax", "clamp", "dot", "matvec", "match_prob",
+    )
+
+    def __init__(self, width: int, pipeline_depth: int = 8):
+        if width < 1:
+            raise ConfigError(f"SIMD width must be >= 1, got {width}")
+        self.width = width
+        self.pipeline_depth = pipeline_depth
+
+    def _cycles(self, flops: int) -> int:
+        return simd_runtime(flops, self.width, self.pipeline_depth)
+
+    def execute(self, kind: str, *operands: np.ndarray) -> SimdOpResult:
+        """Run one named vector operation over numpy operands."""
+        if kind not in self.SUPPORTED:
+            raise SimulationError(
+                f"SIMD unit has no circuit for {kind!r}; supported: {self.SUPPORTED}"
+            )
+        ops = [np.asarray(o, dtype=np.float64) for o in operands]
+        if not ops:
+            raise SimulationError(f"{kind}: needs at least one operand")
+        x = ops[0]
+
+        if kind == "sum":
+            if len(ops) == 1:
+                values = np.asarray(x.sum())
+                flops = x.size
+            else:
+                values = np.sum(ops, axis=0)
+                flops = sum(o.size for o in ops)
+        elif kind == "mul":
+            values = x.copy()
+            for o in ops[1:]:
+                values = values * o
+            flops = sum(o.size for o in ops)
+        elif kind == "div":
+            self._need(ops, 2, kind)
+            values = x / ops[1]
+            flops = 4 * x.size  # iterative divider
+        elif kind == "max":
+            values = x if len(ops) == 1 else np.maximum(x, ops[1])
+            values = np.asarray(values.max() if len(ops) == 1 else values)
+            flops = x.size
+        elif kind == "min":
+            values = np.asarray(x.min() if len(ops) == 1 else np.minimum(x, ops[1]))
+            flops = x.size
+        elif kind == "relu":
+            values = np.maximum(x, 0.0)
+            flops = x.size
+        elif kind == "exp":
+            values = np.exp(x)
+            flops = 4 * x.size
+        elif kind == "log":
+            values = np.log(np.maximum(x, 1e-30))
+            flops = 4 * x.size
+        elif kind == "tanh":
+            values = np.tanh(x)
+            flops = 4 * x.size
+        elif kind == "norm":
+            values = np.asarray(np.linalg.norm(x))
+            flops = 2 * x.size
+        elif kind == "softmax":
+            z = x - x.max(axis=-1, keepdims=True)
+            e = np.exp(z)
+            values = e / e.sum(axis=-1, keepdims=True)
+            flops = 6 * x.size
+        elif kind == "clamp":
+            lo, hi = (0.0, 1.0)
+            if len(ops) >= 3:
+                lo, hi = float(ops[1]), float(ops[2])
+            values = np.clip(x, lo, hi)
+            flops = 2 * x.size
+        elif kind == "dot":
+            self._need(ops, 2, kind)
+            values = np.asarray(float(np.dot(x.reshape(-1), ops[1].reshape(-1))))
+            flops = 2 * x.size
+        elif kind == "matvec":
+            self._need(ops, 2, kind)
+            values = x @ ops[1]
+            flops = 2 * x.size
+        elif kind == "match_prob":
+            self._need(ops, 2, kind)
+            q, k = x, ops[1]
+            num = np.sum(q * k, axis=-1)
+            den = np.linalg.norm(q, axis=-1) * np.linalg.norm(k, axis=-1)
+            values = np.clip(num / np.maximum(den, 1e-12), 0.0, 1.0)
+            flops = 6 * max(q.size, k.size)
+        else:  # pragma: no cover - guarded by SUPPORTED check
+            raise SimulationError(f"unhandled SIMD kind {kind!r}")
+
+        return SimdOpResult(values=values, cycles=self._cycles(int(flops)), kind=kind)
+
+    @staticmethod
+    def _need(ops: list[np.ndarray], n: int, kind: str) -> None:
+        if len(ops) < n:
+            raise SimulationError(f"{kind}: needs {n} operands, got {len(ops)}")

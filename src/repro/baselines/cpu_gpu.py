@@ -1,0 +1,79 @@
+"""CPU, GPU and edge-SoC device specs (Fig. 1 and Fig. 5 baselines).
+
+Raw peaks come from public spec sheets; efficiency and overhead knobs were
+calibrated once against the paper's measured ratios (Fig. 1a symbolic
+runtime shares, Fig. 5 normalized runtimes) and are held fixed across all
+workloads — no per-experiment tuning.
+"""
+
+from __future__ import annotations
+
+from .device import DeviceSpec
+
+__all__ = ["JETSON_TX2", "XAVIER_NX", "XEON_CPU", "RTX_2080TI", "CORAL_TPU"]
+
+#: NVIDIA Jetson TX2 (15 W): 256-core Pascal, 1.33 TFLOPS FP16 /
+#: ~0.67 FP32, LPDDR4 59.7 GB/s. Old driver stack → large launch costs.
+JETSON_TX2 = DeviceSpec(
+    name="Jetson TX2",
+    peak_gflops=665.0,
+    mem_bandwidth_gb_s=59.7,
+    launch_overhead_us=60.0,
+    nn_efficiency=0.45,
+    symbolic_efficiency=0.08,
+    symbolic_mem_efficiency=0.08,
+    power_w=15.0,
+)
+
+#: NVIDIA Xavier NX (20 W): 384-core Volta, ~1.1 TFLOPS FP32 class,
+#: LPDDR4x 59.7 GB/s (wider NVDLA path helps dense kernels only).
+XAVIER_NX = DeviceSpec(
+    name="Xavier NX",
+    peak_gflops=1_100.0,
+    mem_bandwidth_gb_s=59.7,
+    launch_overhead_us=35.0,
+    nn_efficiency=0.40,
+    symbolic_efficiency=0.08,
+    symbolic_mem_efficiency=0.10,
+    power_w=20.0,
+)
+
+#: Server-class Xeon (e.g. Gold 6226R): ~1.5 TFLOPS AVX-512 FP32,
+#: 6-channel DDR4 ~120 GB/s. No kernel launches, but symbolic kernels are
+#: scalar-ish loops with poor vectorization.
+XEON_CPU = DeviceSpec(
+    name="Xeon CPU",
+    peak_gflops=1_500.0,
+    mem_bandwidth_gb_s=120.0,
+    launch_overhead_us=3.0,
+    nn_efficiency=0.45,
+    symbolic_efficiency=0.22,
+    symbolic_mem_efficiency=0.25,
+    power_w=150.0,
+)
+
+#: NVIDIA RTX 2080 Ti (250 W): 13.4 TFLOPS FP32, GDDR6 616 GB/s.
+RTX_2080TI = DeviceSpec(
+    name="RTX 2080",
+    peak_gflops=13_400.0,
+    mem_bandwidth_gb_s=616.0,
+    launch_overhead_us=4.0,
+    nn_efficiency=0.22,
+    symbolic_efficiency=0.08,
+    symbolic_mem_efficiency=0.12,
+    power_w=250.0,
+)
+
+#: Coral-class edge TPU (4 W): 4 TOPS INT8 for supported NN graphs, but
+#: symbolic kernels are unsupported and bounce to the USB-attached host —
+#: modeled as a very slow symbolic path (Fig. 1b's 10²-10³ s regime).
+CORAL_TPU = DeviceSpec(
+    name="Edge TPU",
+    peak_gflops=4_000.0,
+    mem_bandwidth_gb_s=4.0,
+    launch_overhead_us=250.0,
+    nn_efficiency=0.50,
+    symbolic_efficiency=0.005,
+    symbolic_mem_efficiency=0.05,
+    power_w=4.0,
+)

@@ -1,0 +1,149 @@
+"""Roofline device model with kernel-fragmentation effects.
+
+For every trace op the model charges
+
+    ``latency = launches · launch_overhead
+               + max(flops / (peak · efficiency), bytes / (bw · mem_eff))``
+
+where ``launches`` is 1 for dense neural kernels but scales with the
+vector count for symbolic kernels (VSA backends issue one small kernel
+per vector/rule/candidate — the execution behaviour Sec. II-B profiles),
+and ``mem_eff`` degrades for the irregular streaming accesses of symbolic
+ops. Neural vs symbolic efficiencies are separate knobs because dense
+GEMM pipelines and low-reuse vector kernels achieve very different
+fractions of peak on every real device.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import ConfigError
+from ..trace.opnode import ExecutionUnit, OpDomain, Trace, TraceOp
+
+__all__ = ["DeviceSpec", "DeviceResult", "RooflineDevice"]
+
+
+@dataclass(frozen=True)
+class DeviceSpec:
+    """Calibrated performance envelope of one device.
+
+    ``peak_gflops`` is the dense single/half-precision compute peak the
+    device's NN libraries target; ``*_efficiency`` are achieved fractions
+    of that peak; ``mem_bandwidth_gb_s`` is the DRAM peak with
+    ``symbolic_mem_efficiency`` applied to irregular symbolic streams.
+    ``launch_overhead_us`` covers kernel launch / dispatch / host-driver
+    latency per issued kernel. Sources for the raw peaks are the public
+    spec sheets; efficiency/overhead values were calibrated once against
+    the paper's Fig. 1/Fig. 5 ratios (see EXPERIMENTS.md).
+    """
+
+    name: str
+    peak_gflops: float
+    mem_bandwidth_gb_s: float
+    launch_overhead_us: float
+    nn_efficiency: float
+    symbolic_efficiency: float
+    symbolic_mem_efficiency: float
+    elementwise_mem_efficiency: float = 0.5
+    power_w: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.peak_gflops <= 0 or self.mem_bandwidth_gb_s <= 0:
+            raise ConfigError(f"{self.name}: peaks must be positive")
+        for eff in (
+            self.nn_efficiency,
+            self.symbolic_efficiency,
+            self.symbolic_mem_efficiency,
+            self.elementwise_mem_efficiency,
+        ):
+            if not 0.0 < eff <= 1.0:
+                raise ConfigError(f"{self.name}: efficiencies must be in (0, 1]")
+
+
+@dataclass(frozen=True)
+class DeviceResult:
+    """Latency of one trace on one device, split by domain."""
+
+    device: str
+    total_s: float
+    neural_s: float
+    symbolic_s: float
+    n_kernel_launches: int
+
+    @property
+    def symbolic_fraction(self) -> float:
+        """Symbolic share of runtime — the Fig. 1(a) bar."""
+        return self.symbolic_s / max(self.total_s, 1e-30)
+
+
+def kernel_launches(op: TraceOp) -> int:
+    """How many device kernels one trace op fragments into.
+
+    Dense neural ops launch once. VSA array ops launch once per vector
+    (the per-rule/per-candidate micro-kernels of real VSA backends).
+    Symbolic SIMD ops launch once per output row batch; host ops are free.
+    """
+    if op.unit is ExecutionUnit.HOST:
+        return 0
+    if op.domain is OpDomain.NEURAL:
+        return 1
+    if op.unit is ExecutionUnit.ARRAY_VSA and op.vsa is not None:
+        return op.vsa.n
+    if op.params.get("dictionary"):
+        return max(1, op.output_shape[0]) if op.output_shape else 1
+    return 1
+
+
+class RooflineDevice:
+    """Execute traces analytically on a :class:`DeviceSpec`."""
+
+    def __init__(self, spec: DeviceSpec):
+        self.spec = spec
+
+    @property
+    def name(self) -> str:
+        return self.spec.name
+
+    def op_latency_s(self, op: TraceOp) -> float:
+        """Latency of one trace op (see module docstring)."""
+        s = self.spec
+        if op.unit is ExecutionUnit.HOST:
+            return 0.0
+        launches = kernel_launches(op)
+        overhead = launches * s.launch_overhead_us * 1e-6
+
+        if op.domain is OpDomain.NEURAL:
+            if op.gemm is not None:
+                compute_eff = s.nn_efficiency
+                mem_eff = 1.0
+            else:
+                # Element-wise neural layers are bandwidth-bound.
+                compute_eff = s.nn_efficiency
+                mem_eff = s.elementwise_mem_efficiency
+        else:
+            compute_eff = s.symbolic_efficiency
+            mem_eff = s.symbolic_mem_efficiency
+
+        compute_s = op.flops / (s.peak_gflops * 1e9 * compute_eff)
+        memory_s = op.total_bytes / (s.mem_bandwidth_gb_s * 1e9 * mem_eff)
+        return overhead + max(compute_s, memory_s)
+
+    def run_trace(self, trace: Trace) -> DeviceResult:
+        """Total and per-domain latency of one inference trace."""
+        neural = symbolic = 0.0
+        launches = 0
+        for op in trace:
+            t = self.op_latency_s(op)
+            launches += kernel_launches(op)
+            if op.domain is OpDomain.NEURAL:
+                neural += t
+            else:
+                symbolic += t
+        return DeviceResult(
+            device=self.name,
+            total_s=neural + symbolic,
+            neural_s=neural,
+            symbolic_s=symbolic,
+            n_kernel_launches=launches,
+        )

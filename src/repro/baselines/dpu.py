@@ -1,0 +1,67 @@
+"""Xilinx-DPU-like engine baseline (Fig. 5).
+
+The DPU is a fixed-function CNN overlay: convolution/GEMM layers run on
+its MAC engine at high efficiency, but it has no vector-symbolic kernel
+support at all, so every symbolic op falls back to the host CPU — the
+standard deployment pattern for DPU designs with custom post-processing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..errors import ConfigError
+from ..trace.opnode import ExecutionUnit, OpDomain, Trace
+from .cpu_gpu import XEON_CPU
+from .device import DeviceResult, DeviceSpec, RooflineDevice
+
+__all__ = ["DpuLikeEngine"]
+
+
+@dataclass(frozen=True)
+class DpuLikeEngine:
+    """DPU MAC engine + host-CPU fallback for symbolic kernels.
+
+    Defaults approximate a DPUCADF8H-class engine: B4096-style 4 096 MACs
+    ×2 ops at ~600 MHz ≈ 4.9 TOPS INT8, with the usual ~55 % sustained
+    efficiency on real CNN layers.
+    """
+
+    peak_gops: float = 4_900.0
+    nn_efficiency: float = 0.55
+    mem_bandwidth_gb_s: float = 77.0
+    host: DeviceSpec = field(default_factory=lambda: XEON_CPU)
+
+    def __post_init__(self) -> None:
+        if self.peak_gops <= 0:
+            raise ConfigError("peak_gops must be positive")
+        if not 0 < self.nn_efficiency <= 1:
+            raise ConfigError("nn_efficiency must be in (0, 1]")
+
+    @property
+    def name(self) -> str:
+        return "Xilinx DPU"
+
+    def run_trace(self, trace: Trace) -> DeviceResult:
+        host = RooflineDevice(self.host)
+        neural = symbolic = 0.0
+        launches = 0
+        for op in trace:
+            if op.unit is ExecutionUnit.HOST:
+                continue
+            if op.domain is OpDomain.NEURAL:
+                compute_s = op.flops / (self.peak_gops * 1e9 * self.nn_efficiency)
+                memory_s = op.total_bytes / (self.mem_bandwidth_gb_s * 1e9)
+                neural += max(compute_s, memory_s)
+                launches += 1
+            else:
+                # Symbolic kernels are unsupported on the engine: host CPU.
+                symbolic += host.op_latency_s(op)
+                launches += 1
+        return DeviceResult(
+            device=self.name,
+            total_s=neural + symbolic,
+            neural_s=neural,
+            symbolic_s=symbolic,
+            n_kernel_launches=launches,
+        )

@@ -1,0 +1,108 @@
+"""TPU-like 128×128 systolic array baseline (Fig. 5, Fig. 6 "w/o Phase I").
+
+A traditional weight-stationary systolic array with no circular-convolution
+streaming mode and no sub-array folding. NN GEMMs run exactly as on the
+AdArray (Eq. 1 with the whole array). VSA ops must lower to **circulant-
+matrix GEMMs**: a ``d``-point circular convolution becomes a ``(1 × d) ×
+(d × d)`` GEMM against the circulant expansion of the stationary operand —
+a ``d×`` data blow-up and the reason the paper calls traditional arrays
+"extremely inefficient for circular convolution" (Sec. IV-B). Element-wise
+work runs on a narrow vector epilogue unit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import ConfigError
+from ..model.runtime import layer_runtime, simd_runtime
+from ..nn.gemm import GemmDims
+from ..trace.opnode import ExecutionUnit, OpDomain, Trace
+from .device import DeviceResult
+
+__all__ = ["TpuLikeArray"]
+
+
+@dataclass(frozen=True)
+class TpuLikeArray:
+    """Cycle model of a monolithic H×W systolic array + vector epilogue.
+
+    Unlike the AdArray, the rigid overlay has no re-organizable on-chip
+    memory: circulant matrices (``d × d`` per VSA op) cannot be generated
+    in place and must stream from DRAM, and the fixed-function memory
+    hierarchy cannot double-buffer NSAI's heterogeneous kernel stream
+    (challenge ③ of Sec. V-A), so compute and transfer serialize:
+    ``cycles = compute + transfer`` against ``dram_gb_s``.
+    """
+
+    h: int = 128
+    w: int = 128
+    clock_mhz: float = 272.0
+    vector_lanes: int = 64
+    dram_gb_s: float = 25.6
+    element_bytes: float = 1.0  # INT8 datapath
+    #: True models an external rigid overlay (transfers serialize with
+    #: compute, Fig. 5 baseline); False models the "w/o Phase I" ablation
+    #: of Fig. 6 — the same monolithic array but behind NSFlow's
+    #: double-buffered memory system (transfers overlap).
+    serialize_transfers: bool = True
+
+    def __post_init__(self) -> None:
+        if self.h < 1 or self.w < 1:
+            raise ConfigError("array dims must be positive")
+        if self.clock_mhz <= 0:
+            raise ConfigError("clock must be positive")
+
+    @property
+    def name(self) -> str:
+        return f"TPU-like SA ({self.h}x{self.w})"
+
+    def _transfer_cycles(self, nbytes: float) -> int:
+        bytes_per_cycle = self.dram_gb_s * 1e9 / (self.clock_mhz * 1e6)
+        return int(nbytes / bytes_per_cycle)
+
+    def op_cycles(self, op) -> int:
+        """Cycles for one trace op on the monolithic array."""
+        if op.unit is ExecutionUnit.HOST:
+            return 0
+        if op.unit is ExecutionUnit.ARRAY_NN and op.gemm is not None:
+            compute = layer_runtime(self.h, self.w, 1, op.gemm)
+            traffic = (
+                op.gemm.weight_elements + op.gemm.input_elements
+            ) * self.element_bytes
+            transfer = self._transfer_cycles(traffic)
+            if self.serialize_transfers:
+                return compute + transfer
+            return max(compute, transfer)
+        if op.unit is ExecutionUnit.ARRAY_VSA and op.vsa is not None:
+            # Circulant lowering: n vectors × (1×d)·(d×d) GEMMs, batched
+            # into one (n×d)·(d×d) GEMM whose d×d operand streams from DRAM.
+            dims = GemmDims(m=op.vsa.n, n=op.vsa.d, k=op.vsa.d)
+            compute = layer_runtime(self.h, self.w, 1, dims)
+            traffic = (
+                dims.weight_elements + dims.input_elements
+            ) * self.element_bytes
+            transfer = self._transfer_cycles(traffic)
+            if self.serialize_transfers:
+                return compute + transfer
+            return max(compute, transfer)
+        # Element-wise / reduction work on the vector epilogue unit.
+        return simd_runtime(op.flops, self.vector_lanes)
+
+    def run_trace(self, trace: Trace) -> DeviceResult:
+        """Sequential execution (a monolithic array has no NN/VSA overlap)."""
+        neural_cycles = symbolic_cycles = 0
+        for op in trace:
+            c = self.op_cycles(op)
+            if op.domain is OpDomain.NEURAL:
+                neural_cycles += c
+            else:
+                symbolic_cycles += c
+        hz = self.clock_mhz * 1e6
+        return DeviceResult(
+            device=self.name,
+            total_s=(neural_cycles + symbolic_cycles) / hz,
+            neural_s=neural_cycles / hz,
+            symbolic_s=symbolic_cycles / hz,
+            n_kernel_launches=len(trace),
+        )

@@ -1,0 +1,30 @@
+"""Convenience collections of the baseline devices."""
+
+from __future__ import annotations
+
+from .cpu_gpu import CORAL_TPU, JETSON_TX2, RTX_2080TI, XAVIER_NX, XEON_CPU
+from .device import RooflineDevice
+from .dpu import DpuLikeEngine
+from .tpu import TpuLikeArray
+
+__all__ = ["baseline_devices", "fig5_devices"]
+
+
+def baseline_devices() -> dict[str, RooflineDevice]:
+    """The CPU/GPU/SoC roofline devices of Fig. 1 (name → model)."""
+    return {
+        spec.name: RooflineDevice(spec)
+        for spec in (JETSON_TX2, XAVIER_NX, XEON_CPU, RTX_2080TI, CORAL_TPU)
+    }
+
+
+def fig5_devices() -> list:
+    """The Fig. 5 comparison set, in the paper's bar order."""
+    return [
+        RooflineDevice(JETSON_TX2),
+        RooflineDevice(XAVIER_NX),
+        RooflineDevice(XEON_CPU),
+        RooflineDevice(RTX_2080TI),
+        TpuLikeArray(h=128, w=128),
+        DpuLikeEngine(),
+    ]

@@ -1,0 +1,19 @@
+"""Workload characterization (paper Sec. II-B, Fig. 1).
+
+* :mod:`~repro.characterize.profiler` — end-to-end latency breakdowns per
+  device (Fig. 1a's neuro/symbolic runtime split, Fig. 1b's cross-device
+  latencies);
+* :mod:`~repro.characterize.roofline` — arithmetic-intensity /
+  performance points under a device roofline (Fig. 1c).
+"""
+
+from .profiler import WorkloadCharacterization, characterize_workload
+from .roofline import RooflinePoint, roofline_points, roofline_curve
+
+__all__ = [
+    "WorkloadCharacterization",
+    "characterize_workload",
+    "RooflinePoint",
+    "roofline_points",
+    "roofline_curve",
+]

@@ -1,0 +1,69 @@
+"""Runtime breakdowns per device (Fig. 1a / Fig. 1b).
+
+The paper profiles the four workloads on a CPU+GPU system (Fig. 1a:
+symbolic may dominate runtime) and across edge devices (Fig. 1b: no
+real-time performance anywhere). This module reproduces both views with
+the calibrated device models.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..baselines.device import DeviceResult, RooflineDevice
+from ..errors import ConfigError
+from ..trace.opnode import OpDomain, Trace
+from ..workloads.base import NSAIWorkload
+
+__all__ = ["WorkloadCharacterization", "characterize_workload"]
+
+
+@dataclass(frozen=True)
+class WorkloadCharacterization:
+    """Fig. 1 rollup for one workload."""
+
+    workload: str
+    neural_flops: int
+    symbolic_flops: int
+    device_results: dict[str, DeviceResult]
+
+    @property
+    def symbolic_flop_fraction(self) -> float:
+        total = self.neural_flops + self.symbolic_flops
+        return self.symbolic_flops / max(total, 1)
+
+    def symbolic_runtime_fraction(self, device: str) -> float:
+        """Fig. 1a bar: symbolic share of runtime on one device."""
+        try:
+            return self.device_results[device].symbolic_fraction
+        except KeyError as exc:
+            raise ConfigError(
+                f"workload {self.workload!r} was not run on device {device!r}"
+            ) from exc
+
+    def latency_s(self, device: str) -> float:
+        """Fig. 1b bar: end-to-end latency on one device."""
+        try:
+            return self.device_results[device].total_s
+        except KeyError as exc:
+            raise ConfigError(
+                f"workload {self.workload!r} was not run on device {device!r}"
+            ) from exc
+
+
+def characterize_workload(
+    workload: NSAIWorkload,
+    devices: dict[str, RooflineDevice],
+    trace: Trace | None = None,
+) -> WorkloadCharacterization:
+    """Run one workload's trace across a device set."""
+    if not devices:
+        raise ConfigError("need at least one device to characterize against")
+    trace = trace or workload.build_trace()
+    results = {name: dev.run_trace(trace) for name, dev in devices.items()}
+    return WorkloadCharacterization(
+        workload=workload.name,
+        neural_flops=trace.total_flops(OpDomain.NEURAL),
+        symbolic_flops=trace.total_flops(OpDomain.SYMBOLIC),
+        device_results=results,
+    )

@@ -1,0 +1,93 @@
+"""Roofline analysis (paper Fig. 1c).
+
+Each workload contributes two points per device — its neural aggregate
+and its symbolic aggregate — positioned at their arithmetic intensity
+(FLOPs/byte) and achieved performance (FLOPs/s from the device model).
+The paper's observation drops out of the data: symbolic aggregates sit
+far left of the roofline ridge (memory-bound), neural aggregates sit
+right of it (compute-bound).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..baselines.device import DeviceSpec, RooflineDevice
+from ..errors import ConfigError
+from ..trace.opnode import OpDomain, Trace
+
+__all__ = ["RooflinePoint", "roofline_points", "roofline_curve"]
+
+
+@dataclass(frozen=True)
+class RooflinePoint:
+    """One aggregate (workload half) under a device roofline."""
+
+    label: str
+    domain: str
+    arithmetic_intensity: float   # FLOPs / byte
+    achieved_gflops: float
+    memory_bound: bool
+
+
+def roofline_curve(
+    spec: DeviceSpec, intensities: np.ndarray | None = None
+) -> tuple[np.ndarray, np.ndarray]:
+    """The device's roofline: attainable GFLOP/s vs arithmetic intensity."""
+    if intensities is None:
+        intensities = np.logspace(-2, 3, 64)
+    intensities = np.asarray(intensities, dtype=np.float64)
+    if np.any(intensities <= 0):
+        raise ConfigError("intensities must be positive")
+    compute_roof = spec.peak_gflops
+    memory_roof = intensities * spec.mem_bandwidth_gb_s
+    return intensities, np.minimum(compute_roof, memory_roof)
+
+
+def _device_flops(op) -> int:
+    """FLOPs the *device* executes for one trace op.
+
+    Trace VSA nodes carry the O(d²) streaming-form count (what the AdArray
+    executes); CPUs/GPUs run circular convolution via FFT at O(d·log d).
+    Using the hardware-form count would overstate symbolic arithmetic
+    intensity by ~d/log d and hide the memory-boundedness Fig. 1c shows.
+    """
+    import math
+
+    from ..trace.opnode import ExecutionUnit
+
+    if op.unit is ExecutionUnit.ARRAY_VSA and op.vsa is not None:
+        d = op.vsa.d
+        return int(5 * op.vsa.n * d * max(1.0, math.log2(max(d, 2))))
+    return op.flops
+
+
+def roofline_points(
+    trace: Trace, device: RooflineDevice
+) -> list[RooflinePoint]:
+    """Neural and symbolic aggregate points for one workload on one device."""
+    spec = device.spec
+    ridge = spec.peak_gflops / spec.mem_bandwidth_gb_s
+    points: list[RooflinePoint] = []
+    for domain in (OpDomain.NEURAL, OpDomain.SYMBOLIC):
+        ops = trace.by_domain(domain)
+        if not ops:
+            continue
+        flops = sum(_device_flops(op) for op in ops)
+        bytes_ = sum(op.total_bytes for op in ops)
+        seconds = sum(device.op_latency_s(op) for op in ops)
+        if flops == 0 or bytes_ == 0 or seconds == 0:
+            continue
+        intensity = flops / bytes_
+        points.append(
+            RooflinePoint(
+                label=f"{trace.workload} ({domain.value})",
+                domain=domain.value,
+                arithmetic_intensity=intensity,
+                achieved_gflops=flops / seconds / 1e9,
+                memory_bound=intensity < ridge,
+            )
+        )
+    return points

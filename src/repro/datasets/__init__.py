@@ -1,0 +1,34 @@
+"""Synthetic reasoning datasets with the task structure of the paper's suites.
+
+The paper evaluates on RAVEN, I-RAVEN, PGM (Raven-progressive-matrix style
+abstract reasoning) and CVR/SVRT (compositional visual reasoning). Those
+datasets are large external artifacts; what the Table IV / Fig. 5
+experiments actually exercise is the *task structure* — attribute panels
+governed by row rules, candidate sets with distractors — so this package
+generates problems with exactly that structure (see DESIGN.md,
+substitution table).
+
+* :mod:`~repro.datasets.rpm` — 3×3 attribute-rule matrices with
+  constant / progression / arithmetic / distribute-three rules and
+  RAVEN/I-RAVEN/PGM-flavoured difficulty presets;
+* :mod:`~repro.datasets.cvr_svrt` — CVR/SVRT-like relational
+  classification items used by the MIMONet examples.
+"""
+
+from .spec import RpmAttribute, RpmDatasetSpec, RuleType, make_spec
+from .rpm import RpmPanel, RpmProblem, RpmRule, generate_problem, generate_dataset
+from .cvr_svrt import RelationalItem, generate_relational_dataset
+
+__all__ = [
+    "RuleType",
+    "RpmAttribute",
+    "RpmDatasetSpec",
+    "make_spec",
+    "RpmRule",
+    "RpmPanel",
+    "RpmProblem",
+    "generate_problem",
+    "generate_dataset",
+    "RelationalItem",
+    "generate_relational_dataset",
+]

@@ -1,0 +1,82 @@
+"""CVR/SVRT-like relational classification items.
+
+CVR (Zerroug et al. 2022) and SVRT (Fleuret et al. 2011) are visual tasks
+whose label depends on a *relation* between objects (same/different,
+inside/outside, symmetric arrangement). MIMONet is evaluated on them in the
+paper's Fig. 5. For the runtime experiments only the input tensor shapes
+and the symbolic post-processing matter, but we still generate genuinely
+solvable items: small images containing two square "objects" whose relation
+(same size / different size, aligned / not aligned) defines the label, so
+MIMONet examples can demonstrate superposition classification end to end.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import ConfigError
+from ..utils import make_rng
+
+__all__ = ["RelationalItem", "generate_relational_dataset"]
+
+#: Relation vocabulary; index = class label.
+RELATIONS = ("same_size", "different_size")
+
+
+@dataclass(frozen=True)
+class RelationalItem:
+    """One item: a single-channel image and its relation label."""
+
+    image: np.ndarray          # (1, H, W) float in [0, 1]
+    label: int                 # index into RELATIONS
+    task: str                  # "cvr" or "svrt"
+
+
+def _draw_square(img: np.ndarray, top: int, left: int, size: int) -> None:
+    img[top : top + size, left : left + size] = 1.0
+
+
+def _make_item(
+    task: str, image_size: int, rng: np.random.Generator
+) -> RelationalItem:
+    img = np.zeros((image_size, image_size), dtype=np.float64)
+    label = int(rng.integers(2))
+    max_size = image_size // 4
+    s1 = int(rng.integers(2, max_size))
+    if label == 0:  # same size
+        s2 = s1
+    else:  # different size (force a visible gap)
+        choices = [s for s in range(2, max_size) if abs(s - s1) >= 2]
+        s2 = int(rng.choice(choices)) if choices else s1 + 2
+    half = image_size // 2
+    t1 = int(rng.integers(0, half - s1))
+    l1 = int(rng.integers(0, image_size - s1))
+    t2 = int(rng.integers(half, image_size - s2))
+    l2 = int(rng.integers(0, image_size - s2))
+    _draw_square(img, t1, l1, s1)
+    _draw_square(img, t2, l2, s2)
+    if task == "svrt":
+        # SVRT items carry light clutter that perception must ignore.
+        noise = rng.random((image_size, image_size)) < 0.01
+        img = np.clip(img + noise * 0.5, 0.0, 1.0)
+    return RelationalItem(image=img[None, :, :], label=label, task=task)
+
+
+def generate_relational_dataset(
+    task: str,
+    n_items: int,
+    image_size: int = 32,
+    seed: int | None = 0,
+) -> list[RelationalItem]:
+    """Generate a reproducible CVR- or SVRT-like dataset."""
+    task = task.lower()
+    if task not in ("cvr", "svrt"):
+        raise ConfigError(f"task must be 'cvr' or 'svrt', got {task!r}")
+    if n_items < 0:
+        raise ConfigError(f"n_items must be >= 0, got {n_items}")
+    if image_size < 16:
+        raise ConfigError(f"image_size must be >= 16, got {image_size}")
+    rng = make_rng(seed)
+    return [_make_item(task, image_size, rng) for _ in range(n_items)]

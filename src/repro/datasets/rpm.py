@@ -1,0 +1,220 @@
+"""Generator for 3×3 attribute-rule matrices (RPM-style problems).
+
+A problem is a 3×3 grid of panels; each panel assigns a value to every
+attribute; each attribute follows one row rule shared by all three rows
+(RAVEN convention). The bottom-right panel is hidden and must be picked
+from ``n_candidates`` alternatives.
+
+Rule semantics over a row ``(a, b, c)`` of value indices:
+
+* CONSTANT            ``a = b = c``
+* PROGRESSION(step)   ``b = a + step``, ``c = b + step``
+* ARITHMETIC(sign)    ``c = a + sign·b`` (values stay inside the range)
+* DISTRIBUTE_THREE    ``{a, b, c}`` is a fixed 3-set, permuted per row
+
+PGM-style *noise attributes* follow no rule at all (uniform per panel) and
+must be ignored by a solver.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..errors import ConfigError
+from ..utils import make_rng
+from .spec import RpmAttribute, RpmDatasetSpec, RuleType
+
+__all__ = ["RpmRule", "RpmPanel", "RpmProblem", "generate_problem", "generate_dataset"]
+
+
+@dataclass(frozen=True)
+class RpmRule:
+    """An instantiated rule governing one attribute."""
+
+    attribute: str
+    rule_type: RuleType
+    # PROGRESSION: step; ARITHMETIC: sign (+1/-1); DISTRIBUTE_THREE: 3-set.
+    step: int = 0
+    sign: int = 1
+    value_set: tuple[int, ...] = ()
+
+
+@dataclass(frozen=True)
+class RpmPanel:
+    """One panel: a value index per attribute (noise attributes included)."""
+
+    values: dict[str, int]
+
+    def value(self, attribute: str) -> int:
+        return self.values[attribute]
+
+
+@dataclass
+class RpmProblem:
+    """A complete RPM item: 8 context panels, candidates, ground truth."""
+
+    spec: RpmDatasetSpec
+    grid: list[list[RpmPanel]]          # 3 rows × 3 cols; grid[2][2] is the answer
+    candidates: list[RpmPanel]
+    answer_index: int
+    rules: list[RpmRule]
+    noise_attributes: tuple[RpmAttribute, ...] = field(default_factory=tuple)
+
+    @property
+    def context(self) -> list[RpmPanel]:
+        """The eight visible panels in row-major order."""
+        flat = [p for row in self.grid for p in row]
+        return flat[:-1]
+
+    @property
+    def answer(self) -> RpmPanel:
+        return self.candidates[self.answer_index]
+
+    @property
+    def all_attributes(self) -> list[RpmAttribute]:
+        return list(self.spec.attributes) + list(self.noise_attributes)
+
+
+def _sample_rule(
+    attr: RpmAttribute, spec: RpmDatasetSpec, rng: np.random.Generator
+) -> RpmRule:
+    rule_type = spec.rule_types[int(rng.integers(len(spec.rule_types)))]
+    if rule_type is RuleType.PROGRESSION:
+        # Steps that keep a 3-term progression inside [0, n) for some start.
+        feasible = [s for s in spec.progression_steps if 2 * abs(s) < attr.n_values]
+        if not feasible:
+            return RpmRule(attr.name, RuleType.CONSTANT)
+        step = int(feasible[int(rng.integers(len(feasible)))])
+        return RpmRule(attr.name, rule_type, step=step)
+    if rule_type is RuleType.ARITHMETIC:
+        sign = int(spec.arithmetic_signs[int(rng.integers(len(spec.arithmetic_signs)))])
+        return RpmRule(attr.name, rule_type, sign=sign)
+    if rule_type is RuleType.DISTRIBUTE_THREE:
+        values = rng.choice(attr.n_values, size=3, replace=False)
+        return RpmRule(attr.name, rule_type, value_set=tuple(int(v) for v in sorted(values)))
+    return RpmRule(attr.name, RuleType.CONSTANT)
+
+
+def _row_for_rule(
+    rule: RpmRule, attr: RpmAttribute, rng: np.random.Generator
+) -> tuple[int, int, int]:
+    n = attr.n_values
+    if rule.rule_type is RuleType.CONSTANT:
+        a = int(rng.integers(n))
+        return a, a, a
+    if rule.rule_type is RuleType.PROGRESSION:
+        lo = max(0, -2 * rule.step)
+        hi = min(n, n - 2 * rule.step)
+        a = int(rng.integers(lo, hi))
+        return a, a + rule.step, a + 2 * rule.step
+    if rule.rule_type is RuleType.ARITHMETIC:
+        if rule.sign > 0:
+            # c = a + b <= n-1; keep operands >= 1 so the rule is informative.
+            a = int(rng.integers(1, n - 1))
+            b = int(rng.integers(1, n - a))
+            return a, b, a + b
+        # c = a - b >= 0.
+        a = int(rng.integers(1, n))
+        b = int(rng.integers(1, a + 1))
+        return a, b, a - b
+    if rule.rule_type is RuleType.DISTRIBUTE_THREE:
+        perm = rng.permutation(3)
+        vs = rule.value_set
+        return vs[perm[0]], vs[perm[1]], vs[perm[2]]
+    raise ConfigError(f"unhandled rule type {rule.rule_type}")
+
+
+def _make_noise_attributes(spec: RpmDatasetSpec) -> tuple[RpmAttribute, ...]:
+    return tuple(
+        RpmAttribute(f"noise_{i}", spec.noise_attribute_values)
+        for i in range(spec.n_noise_attributes)
+    )
+
+
+def _distractors(
+    answer: RpmPanel,
+    attrs: list[RpmAttribute],
+    spec: RpmDatasetSpec,
+    rng: np.random.Generator,
+) -> list[RpmPanel]:
+    """Perturb the answer into ``n_candidates - 1`` unique wrong panels.
+
+    RAVEN-style: perturb up to ``distractor_attributes`` attributes;
+    I-RAVEN-style (``distractor_attributes == 1``): exactly one attribute
+    differs, giving the unbiased candidate set of Hu et al.
+    """
+    rule_attrs = [a for a in attrs if not a.name.startswith("noise_")]
+    seen = {tuple(sorted(answer.values.items()))}
+    out: list[RpmPanel] = []
+    guard = 0
+    while len(out) < spec.n_candidates - 1:
+        guard += 1
+        if guard > 10_000:
+            raise ConfigError(
+                f"could not generate {spec.n_candidates - 1} unique distractors; "
+                f"attribute space too small for spec {spec.name!r}"
+            )
+        n_perturb = int(rng.integers(1, spec.distractor_attributes + 1))
+        chosen = rng.choice(len(rule_attrs), size=min(n_perturb, len(rule_attrs)), replace=False)
+        values = dict(answer.values)
+        for idx in chosen:
+            attr = rule_attrs[int(idx)]
+            alternatives = [v for v in range(attr.n_values) if v != answer.values[attr.name]]
+            values[attr.name] = int(rng.choice(alternatives))
+        key = tuple(sorted(values.items()))
+        if key in seen:
+            continue
+        seen.add(key)
+        out.append(RpmPanel(values))
+    return out
+
+
+def generate_problem(
+    spec: RpmDatasetSpec, rng: np.random.Generator | int | None = None
+) -> RpmProblem:
+    """Generate one RPM problem according to ``spec``."""
+    gen = make_rng(rng)
+    noise_attrs = _make_noise_attributes(spec)
+    rules = [_sample_rule(attr, spec, gen) for attr in spec.attributes]
+
+    rows: list[list[dict[str, int]]] = [[{} for _ in range(3)] for _ in range(3)]
+    for attr, rule in zip(spec.attributes, rules):
+        for r in range(3):
+            a, b, c = _row_for_rule(rule, attr, gen)
+            rows[r][0][attr.name] = a
+            rows[r][1][attr.name] = b
+            rows[r][2][attr.name] = c
+    for attr in noise_attrs:
+        for r in range(3):
+            for c in range(3):
+                rows[r][c][attr.name] = int(gen.integers(attr.n_values))
+
+    grid = [[RpmPanel(dict(cell)) for cell in row] for row in rows]
+    answer = grid[2][2]
+    all_attrs = list(spec.attributes) + list(noise_attrs)
+    distractors = _distractors(answer, all_attrs, spec, gen)
+    answer_index = int(gen.integers(spec.n_candidates))
+    candidates = list(distractors)
+    candidates.insert(answer_index, answer)
+    return RpmProblem(
+        spec=spec,
+        grid=grid,
+        candidates=candidates,
+        answer_index=answer_index,
+        rules=rules,
+        noise_attributes=noise_attrs,
+    )
+
+
+def generate_dataset(
+    spec: RpmDatasetSpec,
+    n_problems: int,
+    seed: int | None = 0,
+) -> list[RpmProblem]:
+    """Generate a reproducible list of problems (one child seed each)."""
+    if n_problems < 0:
+        raise ConfigError(f"n_problems must be >= 0, got {n_problems}")
+    root = make_rng(seed)
+    return [generate_problem(spec, root) for _ in range(n_problems)]

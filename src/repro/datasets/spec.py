@@ -1,0 +1,168 @@
+"""Dataset specifications: attributes, rule vocabulary, difficulty presets.
+
+The three RPM-style suites differ in attribute richness, rule vocabulary,
+distractor construction and perceptual difficulty; the presets below encode
+those differences so one generator (:mod:`repro.datasets.rpm`) serves all
+three. Difficulty knobs were calibrated (see EXPERIMENTS.md) so the NVSA
+solver's FP32 accuracy lands in the paper's Table IV bands: RAVEN ≈ 99 %,
+I-RAVEN ≈ 99 %, PGM ≈ 69 %.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from ..errors import ConfigError
+
+__all__ = ["RuleType", "RpmAttribute", "RpmDatasetSpec", "make_spec"]
+
+
+class RuleType(enum.Enum):
+    """Row-rule vocabulary of RPM-style tasks."""
+
+    CONSTANT = "constant"
+    PROGRESSION = "progression"  # value_{i+1} = value_i + step
+    ARITHMETIC = "arithmetic"    # value_3 = value_1 ± value_2
+    DISTRIBUTE_THREE = "distribute_three"  # a 3-set permuted across rows
+
+
+@dataclass(frozen=True)
+class RpmAttribute:
+    """A panel attribute with a discrete ordered value space."""
+
+    name: str
+    n_values: int
+
+    def __post_init__(self) -> None:
+        if self.n_values < 3:
+            raise ConfigError(
+                f"attribute {self.name!r} needs >= 3 values for RPM rules, got {self.n_values}"
+            )
+
+
+@dataclass(frozen=True)
+class RpmDatasetSpec:
+    """Everything a generator and solver need to know about a suite.
+
+    ``perception_noise`` is the std-dev of the logit noise the simulated
+    perception frontend adds (see ``workloads.nvsa.PerceptionModel``);
+    ``n_noise_attributes`` adds PGM-style unconstrained attributes that
+    follow no rule and must be ignored; ``distractor_attributes`` controls
+    how many attributes each distractor perturbs (1 = hardest).
+    """
+
+    name: str
+    attributes: tuple[RpmAttribute, ...]
+    rule_types: tuple[RuleType, ...]
+    n_candidates: int = 8
+    perception_noise: float = 0.1
+    n_noise_attributes: int = 0
+    distractor_attributes: int = 1
+    progression_steps: tuple[int, ...] = (1, 2, -1, -2)
+    arithmetic_signs: tuple[int, ...] = (1, -1)
+    noise_attribute_values: int = 8
+
+    def __post_init__(self) -> None:
+        if not self.attributes:
+            raise ConfigError(f"spec {self.name!r} needs at least one attribute")
+        if not self.rule_types:
+            raise ConfigError(f"spec {self.name!r} needs at least one rule type")
+        if self.n_candidates < 2:
+            raise ConfigError(f"spec {self.name!r} needs >= 2 candidates")
+        if self.perception_noise < 0:
+            raise ConfigError("perception_noise must be >= 0")
+        if self.distractor_attributes < 1:
+            raise ConfigError("distractor_attributes must be >= 1")
+
+    @property
+    def n_attributes(self) -> int:
+        return len(self.attributes)
+
+
+_PRESETS: dict[str, RpmDatasetSpec] = {}
+
+
+def _register(spec: RpmDatasetSpec) -> RpmDatasetSpec:
+    _PRESETS[spec.name] = spec
+    return spec
+
+
+# RAVEN-like: four attributes, moderate value spaces, full rule vocabulary,
+# distractors perturb 1-2 attributes, mild perception noise.
+_register(
+    RpmDatasetSpec(
+        name="raven",
+        attributes=(
+            RpmAttribute("type", 5),
+            RpmAttribute("size", 6),
+            RpmAttribute("color", 8),
+            RpmAttribute("number", 9),
+        ),
+        rule_types=(
+            RuleType.CONSTANT,
+            RuleType.PROGRESSION,
+            RuleType.ARITHMETIC,
+            RuleType.DISTRIBUTE_THREE,
+        ),
+        perception_noise=0.55,
+        distractor_attributes=2,
+    )
+)
+
+# I-RAVEN-like: identical panels, but the answer set is unbiased — every
+# distractor differs from the answer in exactly one attribute, so
+# context-blind strategies fail (Hu et al., AAAI 2021).
+_register(
+    RpmDatasetSpec(
+        name="iraven",
+        attributes=(
+            RpmAttribute("type", 5),
+            RpmAttribute("size", 6),
+            RpmAttribute("color", 8),
+            RpmAttribute("number", 9),
+        ),
+        rule_types=(
+            RuleType.CONSTANT,
+            RuleType.PROGRESSION,
+            RuleType.ARITHMETIC,
+            RuleType.DISTRIBUTE_THREE,
+        ),
+        perception_noise=0.55,
+        distractor_attributes=1,
+    )
+)
+
+# PGM-like: larger value spaces, distractor (rule-free) attributes, and a
+# noisier perception channel — the combination that pushes even strong
+# solvers to the paper's ~69 % band.
+_register(
+    RpmDatasetSpec(
+        name="pgm",
+        attributes=(
+            RpmAttribute("shape_type", 7),
+            RpmAttribute("shape_size", 10),
+            RpmAttribute("shape_color", 10),
+            RpmAttribute("line_type", 6),
+            RpmAttribute("line_color", 10),
+        ),
+        rule_types=(
+            RuleType.CONSTANT,
+            RuleType.PROGRESSION,
+            RuleType.ARITHMETIC,
+            RuleType.DISTRIBUTE_THREE,
+        ),
+        perception_noise=1.30,
+        n_noise_attributes=2,
+        distractor_attributes=1,
+    )
+)
+
+
+def make_spec(name: str) -> RpmDatasetSpec:
+    """Look up a difficulty preset: ``raven``, ``iraven`` or ``pgm``."""
+    try:
+        return _PRESETS[name.lower()]
+    except KeyError as exc:
+        valid = ", ".join(sorted(_PRESETS))
+        raise ConfigError(f"unknown dataset {name!r}; expected one of: {valid}") from exc

@@ -1,0 +1,26 @@
+"""Two-phase design-space exploration (paper Algorithm 1, Sec. V-C).
+
+Phase I fixes a static partition (all ``Nl[i] = N̄l``, all ``Nv[j] = N̄v``)
+and sweeps the pruned ``(H, W)`` geometry space for the best parallel
+runtime, falling back to sequential mode when that wins. Phase II
+fine-tunes the per-node partition vectors around the Phase I point by
+shifting sub-arrays between each layer and the VSA nodes that overlap it.
+"""
+
+from .config import DesignConfig, ExecutionMode, design_config_from_json, design_config_to_json
+from .phase1 import Phase1Result, run_phase1
+from .phase2 import Phase2Result, run_phase2
+from .explorer import DseReport, TwoPhaseDSE
+
+__all__ = [
+    "DesignConfig",
+    "ExecutionMode",
+    "design_config_to_json",
+    "design_config_from_json",
+    "Phase1Result",
+    "run_phase1",
+    "Phase2Result",
+    "run_phase2",
+    "TwoPhaseDSE",
+    "DseReport",
+]

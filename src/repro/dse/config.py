@@ -1,0 +1,164 @@
+"""Design configuration: the frontend's output, the backend's input.
+
+A :class:`DesignConfig` is the "System Design Config (.json)" of the
+paper's Fig. 2: everything needed to instantiate the accelerator template
+(AdArray geometry, partition vectors, memory plan, SIMD width, precision)
+plus the execution mode the DSE chose. It serializes to JSON so the flow
+can hand it from frontend to backend exactly as the paper describes.
+"""
+
+from __future__ import annotations
+
+import enum
+import json
+from dataclasses import dataclass, field
+
+from ..errors import ConfigError
+from ..model.memory import MemoryPlan
+from ..quant import MixedPrecisionConfig, Precision
+
+__all__ = [
+    "ExecutionMode",
+    "DesignConfig",
+    "design_config_to_json",
+    "design_config_from_json",
+]
+
+
+class ExecutionMode(enum.Enum):
+    """How the AdArray is shared between NN and VSA work."""
+
+    PARALLEL = "parallel"       # folded sub-arrays run NN and VSA together
+    SEQUENTIAL = "sequential"   # whole array runs NN, then VSA
+
+
+@dataclass(frozen=True)
+class DesignConfig:
+    """A complete NSFlow accelerator instantiation."""
+
+    workload: str
+    h: int                       # sub-array height
+    w: int                       # sub-array width
+    n_sub: int                   # number of sub-arrays (N)
+    nl: tuple[int, ...]          # per-layer-node partition (Nl)
+    nv: tuple[int, ...]          # per-VSA-node partition (Nv)
+    nl_bar: int                  # Phase I static NN partition
+    nv_bar: int                  # Phase I static VSA partition
+    mode: ExecutionMode
+    simd_width: int
+    memory: MemoryPlan
+    precision: MixedPrecisionConfig
+    clock_mhz: float = 272.0
+    estimated_cycles: int = 0
+    extras: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if min(self.h, self.w, self.n_sub) < 1:
+            raise ConfigError(
+                f"invalid AdArray geometry ({self.h}, {self.w}, {self.n_sub})"
+            )
+        if self.mode is ExecutionMode.PARALLEL:
+            for i, v in enumerate(self.nl):
+                if not 1 <= v <= self.n_sub:
+                    raise ConfigError(f"Nl[{i}]={v} out of [1, {self.n_sub}]")
+            for j, v in enumerate(self.nv):
+                if not 1 <= v <= self.n_sub:
+                    raise ConfigError(f"Nv[{j}]={v} out of [1, {self.n_sub}]")
+        if self.simd_width < 1:
+            raise ConfigError(f"simd_width must be >= 1, got {self.simd_width}")
+        if self.clock_mhz <= 0:
+            raise ConfigError(f"clock_mhz must be positive, got {self.clock_mhz}")
+
+    @property
+    def total_pes(self) -> int:
+        return self.h * self.w * self.n_sub
+
+    @property
+    def geometry(self) -> tuple[int, int, int]:
+        """The Table III "Size (H, W, N)" triple."""
+        return (self.h, self.w, self.n_sub)
+
+    @property
+    def default_partition(self) -> str:
+        """The Table III "Default Partition" string, e.g. ``14 : 2``."""
+        return f"{self.nl_bar} : {self.nv_bar}"
+
+    def estimated_latency_s(self) -> float:
+        """Estimated single-loop latency in seconds at the design clock."""
+        return self.estimated_cycles / (self.clock_mhz * 1e6)
+
+
+def design_config_to_json(config: DesignConfig, indent: int | None = 2) -> str:
+    """Serialize to the frontend's design-config JSON document."""
+    doc = {
+        "workload": config.workload,
+        "adarray": {
+            "h": config.h,
+            "w": config.w,
+            "n_sub": config.n_sub,
+            "nl": list(config.nl),
+            "nv": list(config.nv),
+            "nl_bar": config.nl_bar,
+            "nv_bar": config.nv_bar,
+            "mode": config.mode.value,
+        },
+        "simd_width": config.simd_width,
+        "memory": {
+            "mem_a1_bytes": config.memory.mem_a1_bytes,
+            "mem_a2_bytes": config.memory.mem_a2_bytes,
+            "mem_b_bytes": config.memory.mem_b_bytes,
+            "mem_c_bytes": config.memory.mem_c_bytes,
+            "cache_bytes": config.memory.cache_bytes,
+        },
+        "precision": {
+            "neural": config.precision.neural.value,
+            "symbolic": config.precision.symbolic.value,
+            "name": config.precision.name,
+        },
+        "clock_mhz": config.clock_mhz,
+        "estimated_cycles": config.estimated_cycles,
+        "extras": config.extras,
+    }
+    return json.dumps(doc, indent=indent)
+
+
+def design_config_from_json(text: str) -> DesignConfig:
+    """Parse a design config produced by :func:`design_config_to_json`."""
+    try:
+        doc = json.loads(text)
+        ad = doc["adarray"]
+        mem = doc["memory"]
+        prec = doc["precision"]
+        return DesignConfig(
+            workload=doc["workload"],
+            h=ad["h"],
+            w=ad["w"],
+            n_sub=ad["n_sub"],
+            nl=tuple(ad["nl"]),
+            nv=tuple(ad["nv"]),
+            nl_bar=ad["nl_bar"],
+            nv_bar=ad["nv_bar"],
+            mode=ExecutionMode(ad["mode"]),
+            simd_width=doc["simd_width"],
+            memory=MemoryPlan(
+                mem_a1_bytes=mem["mem_a1_bytes"],
+                mem_a2_bytes=mem["mem_a2_bytes"],
+                mem_b_bytes=mem["mem_b_bytes"],
+                mem_c_bytes=mem["mem_c_bytes"],
+                cache_bytes=mem["cache_bytes"],
+            ),
+            precision=MixedPrecisionConfig(
+                neural=Precision.parse(prec["neural"]),
+                symbolic=Precision.parse(prec["symbolic"]),
+                name=prec.get("name", ""),
+            ),
+            clock_mhz=doc.get("clock_mhz", 272.0),
+            estimated_cycles=doc.get("estimated_cycles", 0),
+            extras=doc.get("extras", {}),
+        )
+    except (KeyError, ValueError, TypeError) as exc:
+        raise ConfigError(f"malformed design-config JSON: {exc}") from exc
+    except ConfigError:
+        raise
+    except Exception as exc:  # PrecisionError and friends
+        raise ConfigError(f"malformed design-config JSON: {exc}") from exc

@@ -1,0 +1,48 @@
+"""Exception hierarchy for the NSFlow reproduction.
+
+Every error raised by this library derives from :class:`NSFlowError` so
+callers can catch the whole family with a single ``except`` clause while
+still being able to discriminate on the concrete subclass.
+"""
+
+from __future__ import annotations
+
+
+class NSFlowError(Exception):
+    """Base class for every error raised by :mod:`repro`."""
+
+
+class ConfigError(NSFlowError):
+    """A design or workload configuration is inconsistent or out of range."""
+
+
+class TraceError(NSFlowError):
+    """An execution trace is malformed or cannot be produced."""
+
+
+class GraphError(NSFlowError):
+    """A dataflow graph violates a structural invariant (cycle, dangling edge)."""
+
+
+class DSEError(NSFlowError):
+    """Design-space exploration could not find a feasible design."""
+
+
+class ShapeError(NSFlowError):
+    """Tensor/vector operands have incompatible shapes."""
+
+
+class PrecisionError(NSFlowError):
+    """An unsupported precision or quantization configuration was requested."""
+
+
+class SimulationError(NSFlowError):
+    """The hardware simulator reached an inconsistent state."""
+
+
+class ScheduleError(NSFlowError):
+    """The controller could not schedule the dataflow graph on the design."""
+
+
+class ResourceError(NSFlowError):
+    """A design does not fit the target FPGA's resource budget."""

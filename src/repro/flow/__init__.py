@@ -1,0 +1,20 @@
+"""End-to-end NSFlow framework (paper Fig. 2).
+
+:class:`~repro.flow.nsflow.NSFlow` wires the whole toolchain: workload →
+execution trace → dataflow graph → two-phase DSE → design config →
+backend instantiation (controller schedule, resource estimate, RTL
+parameters, host code). One call reproduces the paper's "NSAI workload
+(.py) in, deployed accelerator out" story.
+"""
+
+from .nsflow import CompiledDesign, NSFlow
+from .hostcode import generate_host_code
+from .report import format_table, speedup_table
+
+__all__ = [
+    "NSFlow",
+    "CompiledDesign",
+    "generate_host_code",
+    "format_table",
+    "speedup_table",
+]

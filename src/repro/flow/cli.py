@@ -1,0 +1,155 @@
+"""Command-line interface: the ``nsflow`` compiler driver.
+
+Mirrors the paper's user story — "NSAI workload (.py) in, deployment
+artifacts out" — as a CLI:
+
+    python -m repro compile nvsa --precision MP --out build/nvsa
+    python -m repro workloads
+    python -m repro characterize nvsa
+
+``compile`` writes the four frontend/backend artifacts of Fig. 2 into the
+output directory: ``trace.json``, ``design_config.json``,
+``nsflow_params.vh`` and ``host.cpp``, and prints the deployment summary.
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import sys
+
+from ..arch.resources import U250, ZCU104, FpgaDevice
+from ..baselines import baseline_devices
+from ..characterize import characterize_workload
+from ..errors import NSFlowError
+from ..quant import MIXED_PRECISION_PRESETS
+from ..trace.serialize import trace_to_json
+from ..utils import MB
+from ..workloads import available_workloads, build_workload
+from .nsflow import NSFlow
+from .report import format_table
+from ..dse.config import design_config_to_json
+
+__all__ = ["main", "build_parser"]
+
+_DEVICES: dict[str, FpgaDevice] = {"u250": U250, "zcu104": ZCU104}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="nsflow",
+        description="NSFlow: compile NSAI workloads onto FPGA accelerators.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    comp = sub.add_parser("compile", help="run the full toolchain on a workload")
+    comp.add_argument("workload", choices=available_workloads())
+    comp.add_argument("--device", choices=sorted(_DEVICES), default="u250")
+    comp.add_argument(
+        "--precision", choices=list(MIXED_PRECISION_PRESETS), default="MP"
+    )
+    comp.add_argument("--iter-max", type=int, default=8,
+                      help="Phase II iteration cap (Algorithm 1 Iter_max)")
+    comp.add_argument("--loops", type=int, default=1,
+                      help="inference loops to fuse (inter-loop parallelism)")
+    comp.add_argument("--out", type=pathlib.Path, default=None,
+                      help="directory for generated artifacts")
+
+    sub.add_parser("workloads", help="list available workloads")
+
+    char = sub.add_parser(
+        "characterize", help="profile a workload on the baseline devices"
+    )
+    char.add_argument("workload", choices=available_workloads())
+    return parser
+
+
+def _cmd_workloads() -> int:
+    rows = [[name] for name in available_workloads()]
+    print(format_table(["Workload"], rows, title="Registered NSAI workloads"))
+    return 0
+
+
+def _cmd_characterize(args: argparse.Namespace) -> int:
+    workload = build_workload(args.workload)
+    ch = characterize_workload(workload, baseline_devices())
+    rows = [
+        [
+            device,
+            f"{ch.latency_s(device) * 1e3:9.2f}",
+            f"{100 * ch.symbolic_runtime_fraction(device):5.1f}%",
+        ]
+        for device in baseline_devices()
+    ]
+    print(format_table(
+        ["Device", "Latency (ms)", "Symbolic runtime"],
+        rows,
+        title=f"Characterization: {workload.name} "
+              f"(symbolic = {100 * ch.symbolic_flop_fraction:.1f}% of FLOPs)",
+    ))
+    return 0
+
+
+def _cmd_compile(args: argparse.Namespace) -> int:
+    workload = build_workload(args.workload)
+    nsf = NSFlow(
+        device=_DEVICES[args.device],
+        precision=MIXED_PRECISION_PRESETS[args.precision],
+        iter_max=args.iter_max,
+    )
+    design = nsf.compile(workload, n_loops=args.loops)
+
+    c, r = design.config, design.resources
+    rows = [
+        ["AdArray (H, W, N)", str(c.geometry)],
+        ["Total PEs", f"{c.total_pes:,}"],
+        ["Default partition", c.default_partition],
+        ["Execution mode", c.mode.value],
+        ["SIMD lanes", str(c.simd_width)],
+        ["MemA1 / MemA2", f"{c.memory.mem_a1_bytes / MB:.2f} / "
+                          f"{c.memory.mem_a2_bytes / MB:.2f} MB"],
+        ["MemB / MemC", f"{c.memory.mem_b_bytes / MB:.2f} / "
+                        f"{c.memory.mem_c_bytes / MB:.2f} MB"],
+        ["URAM cache", f"{c.memory.cache_bytes / MB:.2f} MB"],
+        ["DSP / LUT / FF", f"{r.dsp_pct:.0f}% / {r.lut_pct:.0f}% / {r.ff_pct:.0f}%"],
+        ["BRAM / URAM / LUTRAM", f"{r.bram_pct:.0f}% / {r.uram_pct:.0f}% / "
+                                 f"{r.lutram_pct:.0f}%"],
+        ["Clock", f"{r.clock_mhz:.0f} MHz"],
+        ["Simulated latency", f"{design.latency_ms:.3f} ms"],
+    ]
+    print(format_table(
+        ["Parameter", "Value"], rows,
+        title=f"NSFlow design: {workload.name} on {r.device}",
+    ))
+
+    if args.out is not None:
+        args.out.mkdir(parents=True, exist_ok=True)
+        (args.out / "trace.json").write_text(trace_to_json(design.trace))
+        (args.out / "design_config.json").write_text(
+            design_config_to_json(design.config)
+        )
+        (args.out / "nsflow_params.vh").write_text(design.rtl_header)
+        (args.out / "host.cpp").write_text(design.host_code)
+        print(f"\nArtifacts written to {args.out}/: trace.json, "
+              "design_config.json, nsflow_params.vh, host.cpp")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    try:
+        if args.command == "workloads":
+            return _cmd_workloads()
+        if args.command == "characterize":
+            return _cmd_characterize(args)
+        if args.command == "compile":
+            return _cmd_compile(args)
+    except NSFlowError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    raise AssertionError("unreachable")  # pragma: no cover
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,55 @@
+"""Plain-text table formatting for benches and examples."""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from ..errors import ConfigError
+
+__all__ = ["format_table", "speedup_table"]
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: str = "",
+) -> str:
+    """Render an aligned monospace table (the benches' output format)."""
+    if not headers:
+        raise ConfigError("table needs headers")
+    cells = [[str(h) for h in headers]] + [[str(c) for c in row] for row in rows]
+    for row in cells[1:]:
+        if len(row) != len(headers):
+            raise ConfigError(
+                f"row width {len(row)} != header width {len(headers)}"
+            )
+    widths = [max(len(row[i]) for row in cells) for i in range(len(headers))]
+    lines = []
+    if title:
+        lines.append(title)
+    sep = "-+-".join("-" * w for w in widths)
+    lines.append(" | ".join(h.ljust(w) for h, w in zip(cells[0], widths)))
+    lines.append(sep)
+    for row in cells[1:]:
+        lines.append(" | ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def speedup_table(
+    baseline_latencies: dict[str, float],
+    reference_latency: float,
+    reference_name: str = "NSFlow",
+) -> list[tuple[str, float]]:
+    """Normalized runtimes (device / reference), reference last at 1.0.
+
+    This is the Fig. 5 presentation: every bar is runtime normalized to
+    NSFlow, so NSFlow = 1.00 and larger means slower.
+    """
+    if reference_latency <= 0:
+        raise ConfigError("reference latency must be positive")
+    rows = [
+        (name, latency / reference_latency)
+        for name, latency in baseline_latencies.items()
+    ]
+    rows.append((reference_name, 1.0))
+    return rows

@@ -1,0 +1,23 @@
+"""Dataflow-graph generation (paper Sec. V-B, Fig. 4).
+
+The Design Architecture Generator turns an execution trace into a
+*dataflow graph*: ① DFS identifies the critical path of a single loop,
+② BFS attaches same-depth operations to their critical-path stations
+(inner-loop parallelism), ③ the next loop's graph is fused in at the point
+its first compute unit frees (inter-loop parallelism), ④⑤ runtime
+functions and memory footprints are attached per node.
+"""
+
+from .dataflow import DataflowGraph, DataflowNode, NodeKind
+from .build import build_dataflow_graph, fuse_loops
+from .analysis import GraphStats, graph_stats
+
+__all__ = [
+    "DataflowGraph",
+    "DataflowNode",
+    "NodeKind",
+    "build_dataflow_graph",
+    "fuse_loops",
+    "GraphStats",
+    "graph_stats",
+]

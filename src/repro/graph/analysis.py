@@ -1,0 +1,73 @@
+"""Dataflow-graph statistics (memory footprints, parallelism metrics).
+
+Step ⑤ of the DAG flow: "DAG also computes memory footprint based on each
+node's data size for later memory block configuring". These rollups feed
+:mod:`repro.model.memory` and the characterization benches.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import GraphError
+from ..trace.opnode import ExecutionUnit, OpDomain
+from .dataflow import DataflowGraph
+
+__all__ = ["GraphStats", "graph_stats"]
+
+
+@dataclass(frozen=True)
+class GraphStats:
+    """Summary the DSE and memory sizing consume."""
+
+    workload: str
+    n_nodes: int
+    n_layer_nodes: int
+    n_vsa_nodes: int
+    n_simd_nodes: int
+    critical_path_len: int
+    max_attached: int
+    mean_attached: float
+    max_filter_bytes: int       # max layer weight footprint (MemA1 rule)
+    max_vsa_node_bytes: int     # max VSA operand footprint (MemA2 rule)
+    max_ifmap_bytes: int        # max layer input footprint (MemB rule)
+    max_output_bytes: int       # max node output footprint (MemC rule)
+    neural_flops: int
+    symbolic_flops: int
+
+
+def graph_stats(graph: DataflowGraph) -> GraphStats:
+    """Compute the DSE-facing summary of a dataflow graph."""
+    layers = graph.layer_nodes
+    vsa = graph.vsa_nodes
+    simd = graph.simd_nodes
+    if not layers and not vsa and not simd:
+        raise GraphError("graph has no compute nodes")
+
+    max_filter = max((n.gemm.weight_elements * 4 for n in layers if n.gemm), default=0)
+    max_vsa = max((n.vsa.n * n.vsa.d * 4 for n in vsa if n.vsa), default=0)
+    max_ifmap = max((n.gemm.input_elements * 4 for n in layers if n.gemm), default=0)
+    max_out = max((n.output_bytes for n in graph), default=0)
+
+    attached_counts = [len(n.attached) for n in graph if n.on_critical_path]
+    neural = sum(n.op.flops for n in graph if n.domain is OpDomain.NEURAL)
+    symbolic = sum(n.op.flops for n in graph if n.domain is OpDomain.SYMBOLIC)
+
+    return GraphStats(
+        workload=graph.workload,
+        n_nodes=len(graph),
+        n_layer_nodes=len(layers),
+        n_vsa_nodes=len(vsa),
+        n_simd_nodes=len(simd),
+        critical_path_len=len(graph.critical_path),
+        max_attached=max(attached_counts, default=0),
+        mean_attached=(
+            sum(attached_counts) / len(attached_counts) if attached_counts else 0.0
+        ),
+        max_filter_bytes=max_filter,
+        max_vsa_node_bytes=max_vsa,
+        max_ifmap_bytes=max_ifmap,
+        max_output_bytes=max_out,
+        neural_flops=neural,
+        symbolic_flops=symbolic,
+    )

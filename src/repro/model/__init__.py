@@ -1,0 +1,36 @@
+"""Analytical cost models (paper Sec. V-C, Eqs. 1-5, and Table II).
+
+The models here are the DSE's objective function: cycle-count estimates of
+NN layers and VSA nodes on the AdArray for a given ``(H, W, N)`` geometry
+and partition vectors ``Nl, Nv``, plus the memory sizing rules and the
+design-space accounting that Table II reports.
+"""
+
+from .runtime import (
+    layer_runtime,
+    nn_total_runtime,
+    parallel_runtime,
+    sequential_runtime,
+    simd_runtime,
+    vsa_node_runtime,
+    vsa_streaming_latency,
+    vsa_total_runtime,
+)
+from .memory import MemoryPlan, plan_memory, simd_width
+from .designspace import DesignSpaceSize, design_space_size
+
+__all__ = [
+    "layer_runtime",
+    "nn_total_runtime",
+    "vsa_node_runtime",
+    "vsa_total_runtime",
+    "vsa_streaming_latency",
+    "sequential_runtime",
+    "parallel_runtime",
+    "simd_runtime",
+    "MemoryPlan",
+    "plan_memory",
+    "simd_width",
+    "DesignSpaceSize",
+    "design_space_size",
+]

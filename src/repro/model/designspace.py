@@ -1,0 +1,126 @@
+"""Design-space accounting (paper Table II).
+
+The cross-coupled space is defined by the hardware configuration —
+sub-array height ``H``, width ``W``, count ``N`` with at most ``M = 2^m``
+PEs — and the per-node mapping vectors ``Nl`` (one entry per layer node)
+and ``Nv`` (one per VSA node), each entry in ``[1, N)``:
+
+* original HW configs: ``m·(m+1)/2`` power-of-two ``(H, W)`` pairs,
+* original mappings: ``(N−1)^k`` for each config, ``k`` = #layer + #VSA nodes,
+
+which reaches ~10³⁰⁰ for ``m = 10`` and NVSA-scale graphs. The two-phase
+DSE reduces this to ``(#pruned HW configs) × (N−1)`` in Phase I plus
+``Iter_max × #layers`` Phase II refinement steps — about 10³ points, the
+~10¹⁰⁰× reduction ("100 magnitudes") Table II claims. Sizes are handled in
+log10 to avoid overflow.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..errors import ConfigError
+
+__all__ = ["DesignSpaceSize", "design_space_size", "hw_config_candidates"]
+
+
+def hw_config_candidates(
+    m: int,
+    aspect_min: float = 0.25,
+    aspect_max: float = 16.0,
+    prune: bool = True,
+) -> list[tuple[int, int]]:
+    """Power-of-two ``(H, W)`` pairs with ``H·W ≤ 2^m``.
+
+    With ``prune=True``, applies the paper's Phase I aspect-ratio pruning
+    ``1/4 ≤ H/W ≤ 16`` (Table II).
+    """
+    if m < 1:
+        raise ConfigError(f"m must be >= 1, got {m}")
+    out: list[tuple[int, int]] = []
+    for a in range(m + 1):
+        for b in range(m + 1 - a):
+            h, w = 1 << a, 1 << b
+            if h * w > (1 << m):
+                continue
+            if prune:
+                ratio = h / w
+                if not (aspect_min <= ratio <= aspect_max):
+                    continue
+            out.append((h, w))
+    return out
+
+
+@dataclass(frozen=True)
+class DesignSpaceSize:
+    """Log-scale sizes of the original and DSE-explored spaces."""
+
+    m: int
+    n_layer_nodes: int
+    n_vsa_nodes: int
+    log10_original: float
+    log10_phase1: float
+    log10_phase2: float
+
+    @property
+    def log10_explored(self) -> float:
+        """Points the two-phase DSE actually visits."""
+        return math.log10(10**self.log10_phase1 + 10**self.log10_phase2)
+
+    @property
+    def log10_reduction(self) -> float:
+        """Orders of magnitude saved — Table II's "100 magnitudes"."""
+        return self.log10_original - self.log10_explored
+
+
+def design_space_size(
+    m: int,
+    n_layer_nodes: int,
+    n_vsa_nodes: int,
+    iter_max: int = 8,
+) -> DesignSpaceSize:
+    """Table II accounting for a workload graph with the given node counts.
+
+    Original space: ``Σ over (H,W) configs of (N−1)^k`` where
+    ``N = ⌊2^m/(H·W)⌋`` and ``k = n_layer_nodes + n_vsa_nodes``; we report
+    its log10. Phase I visits ``(#pruned configs) × (N−1)`` points; Phase
+    II visits ``iter_max × n_layer_nodes``.
+    """
+    if n_layer_nodes < 1 or n_vsa_nodes < 1:
+        raise ConfigError("need at least one layer node and one VSA node")
+    if iter_max < 1:
+        raise ConfigError(f"iter_max must be >= 1, got {iter_max}")
+    k = n_layer_nodes + n_vsa_nodes
+    max_pes = 1 << m
+
+    # log10 of Σ_configs (N-1)^k, accumulated in log space.
+    log_total = None
+    for h, w in hw_config_candidates(m, prune=False):
+        n_sub = max_pes // (h * w)
+        if n_sub < 2:
+            continue
+        term = k * math.log10(n_sub - 1)
+        if log_total is None:
+            log_total = term
+        else:
+            hi, lo = max(log_total, term), min(log_total, term)
+            log_total = hi + math.log10(1.0 + 10 ** (lo - hi))
+    if log_total is None:
+        raise ConfigError(f"no feasible configs for m={m}")
+
+    phase1_points = 0
+    for h, w in hw_config_candidates(m, prune=True):
+        n_sub = max_pes // (h * w)
+        if n_sub >= 2:
+            phase1_points += n_sub - 1
+    phase2_points = iter_max * n_layer_nodes
+
+    return DesignSpaceSize(
+        m=m,
+        n_layer_nodes=n_layer_nodes,
+        n_vsa_nodes=n_vsa_nodes,
+        log10_original=log_total,
+        log10_phase1=math.log10(max(phase1_points, 1)),
+        log10_phase2=math.log10(max(phase2_points, 1)),
+    )

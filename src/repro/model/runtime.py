@@ -1,0 +1,203 @@
+"""Analytical runtime models — the paper's Eqs. 1-5, plus a SIMD model.
+
+All results are cycle counts on the AdArray at its design clock. The
+equations, as printed in the paper (Sec. V-C, "Analytical models"):
+
+Eq. 1  ``t_l(H, W, Nl[i]) = (2H + W + d1 − 2) · ⌈⌈d2/Nl[i]⌉/H⌉ · ⌈d3/W⌉``
+       for a layer with GEMM dims ``d1, d2, d3 = m, n, k`` on ``Nl[i]``
+       sub-arrays of ``H × W`` (row-level scale-out partition).
+
+Eq. 2  ``t_nn = Σ_i t_l``  over the layer node set ``R_l``.
+
+Eq. 3  ``t_v,spatial = n_j · ⌈d_j / (W·H·Nv[j])⌉ · T``
+Eq. 4  ``t_v,temp    = ⌈n_j / W⌉ · ⌈d_j / (H·Nv[j])⌉ · T``
+       with ``T = 3H + d_j − 1`` — the streaming latency of the Fig. 3(b)
+       schedule (verified cycle-exact against the register-level simulator
+       in ``repro.arch.column``). Eq. 4's second factor is printed as
+       ``⌈dj/H × Nv[j]⌉`` in the paper; dimensional analysis and symmetry
+       with Eq. 3 require ``⌈dj/(H·Nv[j])⌉`` (see DESIGN.md).
+
+Eq. 5  ``t_vsa = min(Σ_j t_v,temp, Σ_j t_v,spatial)`` over ``R_v``.
+"""
+
+from __future__ import annotations
+
+import functools
+from collections.abc import Sequence
+
+from ..errors import ConfigError
+from ..nn.gemm import GemmDims
+from ..trace.opnode import VsaDims
+from ..utils import ceil_div
+
+__all__ = [
+    "vsa_streaming_latency",
+    "layer_runtime",
+    "nn_total_runtime",
+    "vsa_node_runtime",
+    "vsa_total_runtime",
+    "sequential_runtime",
+    "parallel_runtime",
+    "circulant_gemm_runtime",
+    "monolithic_baseline_runtime",
+    "simd_runtime",
+]
+
+
+def _check_geometry(h: int, w: int, n_sub: int) -> None:
+    if h < 1 or w < 1 or n_sub < 1:
+        raise ConfigError(f"invalid sub-array geometry H={h}, W={w}, N={n_sub}")
+
+
+def vsa_streaming_latency(h: int, d: int) -> int:
+    """``T = 3H + d − 1``: one column's circular-convolution latency.
+
+    3 cycles per PE stage (stationary load + passing-register skew +
+    accumulate) across ``H`` rows, plus ``d − 1`` additional streaming
+    beats for a ``d``-element vector.
+    """
+    if h < 1 or d < 1:
+        raise ConfigError(f"invalid streaming shape H={h}, d={d}")
+    return 3 * h + d - 1
+
+
+@functools.lru_cache(maxsize=1 << 18)
+def layer_runtime(h: int, w: int, nl: int, dims: GemmDims) -> int:
+    """Eq. 1: one GEMM layer on ``nl`` sub-arrays of ``H × W``."""
+    _check_geometry(h, w, nl)
+    m, n, k = dims.m, dims.n, dims.k
+    return (2 * h + w + m - 2) * ceil_div(ceil_div(n, nl), h) * ceil_div(k, w)
+
+
+def nn_total_runtime(
+    h: int, w: int, nl: Sequence[int], layers: Sequence[GemmDims]
+) -> int:
+    """Eq. 2: total NN runtime of one loop over layer set ``R_l``."""
+    if len(nl) != len(layers):
+        raise ConfigError(
+            f"partition vector length {len(nl)} != layer count {len(layers)}"
+        )
+    return sum(layer_runtime(h, w, nl_i, dims) for nl_i, dims in zip(nl, layers))
+
+
+@functools.lru_cache(maxsize=1 << 18)
+def vsa_node_runtime(
+    h: int, w: int, nv: int, dims: VsaDims, mapping: str = "best"
+) -> int:
+    """Eqs. 3/4: one VSA node on ``nv`` sub-arrays, spatial or temporal.
+
+    * ``spatial`` — each vector's ``d`` elements are spread across all PEs
+      of the ``nv`` sub-arrays; vectors stream through one at a time.
+    * ``temporal`` — up to ``W`` vectors stream in parallel (one per
+      column), each vector folded over ``H · nv`` PEs.
+    * ``best`` — the faster of the two (what the DAG picks per Eq. 5).
+    """
+    _check_geometry(h, w, nv)
+    t = vsa_streaming_latency(h, dims.d)
+    spatial = dims.n * ceil_div(dims.d, w * h * nv) * t
+    temporal = ceil_div(dims.n, w) * ceil_div(dims.d, h * nv) * t
+    if mapping == "spatial":
+        return spatial
+    if mapping == "temporal":
+        return temporal
+    if mapping == "best":
+        return min(spatial, temporal)
+    raise ConfigError(f"unknown VSA mapping {mapping!r}")
+
+
+def vsa_total_runtime(
+    h: int, w: int, nv: Sequence[int], nodes: Sequence[VsaDims]
+) -> int:
+    """Eq. 5: min over whole-loop spatial vs temporal mapping schemes."""
+    if len(nv) != len(nodes):
+        raise ConfigError(
+            f"partition vector length {len(nv)} != VSA node count {len(nodes)}"
+        )
+    if not nodes:
+        return 0
+    spatial = sum(
+        vsa_node_runtime(h, w, nv_j, dims, "spatial")
+        for nv_j, dims in zip(nv, nodes)
+    )
+    temporal = sum(
+        vsa_node_runtime(h, w, nv_j, dims, "temporal")
+        for nv_j, dims in zip(nv, nodes)
+    )
+    return min(spatial, temporal)
+
+
+def sequential_runtime(
+    h: int,
+    w: int,
+    n_sub: int,
+    layers: Sequence[GemmDims],
+    vsa_nodes: Sequence[VsaDims],
+) -> int:
+    """Algorithm 1 line 12: run NN then VSA, each on the whole array."""
+    _check_geometry(h, w, n_sub)
+    t_nn = nn_total_runtime(h, w, [n_sub] * len(layers), layers)
+    t_vsa = vsa_total_runtime(h, w, [n_sub] * len(vsa_nodes), vsa_nodes)
+    return t_nn + t_vsa
+
+
+def parallel_runtime(
+    h: int,
+    w: int,
+    nl: Sequence[int],
+    nv: Sequence[int],
+    layers: Sequence[GemmDims],
+    vsa_nodes: Sequence[VsaDims],
+) -> int:
+    """Algorithm 1 line 8: ``max(t_nn, t_vsa)`` under a static partition.
+
+    The max models the fused-loop steady state: with inter-loop
+    parallelism (Fig. 4 step ③) the NN portion of loop ``i+1`` overlaps
+    the symbolic portion of loop ``i``, so throughput is set by the slower
+    side.
+    """
+    t_nn = nn_total_runtime(h, w, nl, layers)
+    t_vsa = vsa_total_runtime(h, w, nv, vsa_nodes)
+    return max(t_nn, t_vsa)
+
+
+def circulant_gemm_runtime(h: int, w: int, dims: VsaDims) -> int:
+    """VSA node cost on a *traditional* systolic array (no streaming mode).
+
+    Without the passing-register mode, circular convolution lowers to a
+    circulant-matrix GEMM — ``(n × d) · (d × d)`` — with a ``d×`` data
+    blow-up (Sec. IV-B calls this "extremely inefficient"). Used by the
+    Fig. 6 "w/o Phase I" ablation and the TPU-like baseline.
+    """
+    return layer_runtime(h, w, 1, GemmDims(m=dims.n, n=dims.d, k=dims.d))
+
+
+def monolithic_baseline_runtime(
+    h: int,
+    w: int,
+    layers: Sequence[GemmDims],
+    vsa_nodes: Sequence[VsaDims],
+) -> int:
+    """Fig. 6 "w/o Phase I": one monolithic ``H × W`` traditional array.
+
+    Same memory system and SIMD fusion as NSFlow, but no sub-array folding
+    and no VSA streaming mode: everything runs sequentially as GEMMs, with
+    VSA nodes paying the circulant lowering.
+    """
+    t_nn = nn_total_runtime(h, w, [1] * len(layers), layers)
+    t_vsa = sum(circulant_gemm_runtime(h, w, dims) for dims in vsa_nodes)
+    return t_nn + t_vsa
+
+
+def simd_runtime(flops: int, simd_width: int, pipeline_depth: int = 8) -> int:
+    """Cycle estimate for an element-wise/reduction op on the SIMD unit.
+
+    Each lane retires one MAC-equivalent per cycle after ``pipeline_depth``
+    fill cycles — the model used to check that SIMD latency is hidden
+    (paper Sec. V-C, "SIMD size is minimized such that latency … can be
+    hidden").
+    """
+    if simd_width < 1:
+        raise ConfigError(f"simd_width must be >= 1, got {simd_width}")
+    if flops < 0:
+        raise ConfigError(f"flops must be >= 0, got {flops}")
+    return pipeline_depth + ceil_div(max(flops, 1) // 2 + (flops % 2), simd_width)

@@ -1,0 +1,85 @@
+"""Mixed-precision configurations and the model memory-footprint model.
+
+Table IV reports, for the NVSA workload, reasoning accuracy and model memory
+at FP32 / FP16 / INT8 / MP (INT8 for NN, INT4 for symbolic) / INT4. The
+memory row follows directly from the component element counts and the bytes
+per element of each precision; :func:`model_footprint_bytes` reproduces it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from collections.abc import Mapping
+
+from ..errors import PrecisionError
+from .schemes import Precision
+
+
+@dataclass(frozen=True)
+class MixedPrecisionConfig:
+    """Precision assignment for the two halves of an NSAI workload.
+
+    ``neural`` applies to NN weights/activations, ``symbolic`` to VSA
+    codebooks and vector operands. The paper's headline scheme is
+    ``MixedPrecisionConfig(Precision.INT8, Precision.INT4)``.
+    """
+
+    neural: Precision
+    symbolic: Precision
+    name: str = ""
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.neural, Precision) or not isinstance(self.symbolic, Precision):
+            raise PrecisionError("MixedPrecisionConfig fields must be Precision members")
+        if not self.name:
+            object.__setattr__(self, "name", f"{self.neural.value}/{self.symbolic.value}")
+
+    @classmethod
+    def uniform(cls, precision: Precision | str, name: str = "") -> "MixedPrecisionConfig":
+        """Use one precision for both halves (the FP32/FP16/INT8/INT4 columns)."""
+        p = Precision.parse(precision)
+        return cls(neural=p, symbolic=p, name=name or p.value.upper())
+
+    def precision_for(self, component: str) -> Precision:
+        """Precision for a workload component tagged ``neural`` or ``symbolic``."""
+        if component == "neural":
+            return self.neural
+        if component == "symbolic":
+            return self.symbolic
+        raise PrecisionError(f"unknown component {component!r}; expected 'neural' or 'symbolic'")
+
+
+#: The five Table IV columns, in paper order.
+MIXED_PRECISION_PRESETS: dict[str, MixedPrecisionConfig] = {
+    "FP32": MixedPrecisionConfig.uniform(Precision.FP32, "FP32"),
+    "FP16": MixedPrecisionConfig.uniform(Precision.FP16, "FP16"),
+    "INT8": MixedPrecisionConfig.uniform(Precision.INT8, "INT8"),
+    "MP": MixedPrecisionConfig(Precision.INT8, Precision.INT4, "MP"),
+    "INT4": MixedPrecisionConfig.uniform(Precision.INT4, "INT4"),
+}
+
+
+def component_footprint_bytes(n_elements: int, precision: Precision) -> float:
+    """Storage bytes for ``n_elements`` at ``precision`` (INT4 packs 2/byte)."""
+    if n_elements < 0:
+        raise PrecisionError(f"element count must be non-negative, got {n_elements}")
+    return n_elements * precision.bytes_per_element
+
+
+def model_footprint_bytes(
+    component_elements: Mapping[str, int],
+    config: MixedPrecisionConfig,
+) -> float:
+    """Total model memory for a workload under a mixed-precision config.
+
+    ``component_elements`` maps component tags (``neural`` / ``symbolic``)
+    to element counts (weights + codebooks + resident activations). The
+    Table IV "Memory" row for NVSA uses ~8 M total elements split so the
+    paper's 32 MB (FP32) → 5.5 MB (MP) → 4 MB (INT4) progression follows
+    from the byte widths alone.
+    """
+    total = 0.0
+    for component, count in component_elements.items():
+        precision = config.precision_for(component)
+        total += component_footprint_bytes(count, precision)
+    return total

@@ -1,0 +1,116 @@
+"""Trace serialization: JSON round-trip and Listing-1-style rendering.
+
+The paper's toolchain stores the program trace as ``Trace (.json)``
+(Fig. 2) and displays it in the torch.fx style of Listing 1. Both forms
+are reproduced here; JSON is lossless, the listing is for humans.
+"""
+
+from __future__ import annotations
+
+import json
+
+from ..errors import TraceError
+from ..nn.gemm import GemmDims
+from .opnode import ExecutionUnit, OpDomain, Trace, TraceOp, VsaDims
+
+__all__ = ["trace_to_json", "trace_from_json", "trace_to_listing"]
+
+_FORMAT_VERSION = 1
+
+
+def _op_to_dict(op: TraceOp) -> dict:
+    d: dict = {
+        "name": op.name,
+        "kind": op.kind,
+        "domain": op.domain.value,
+        "unit": op.unit.value,
+        "inputs": list(op.inputs),
+        "output_shape": list(op.output_shape),
+        "flops": op.flops,
+        "bytes_read": op.bytes_read,
+        "bytes_written": op.bytes_written,
+        "loop_index": op.loop_index,
+        "params": op.params,
+    }
+    if op.gemm is not None:
+        d["gemm"] = {"m": op.gemm.m, "n": op.gemm.n, "k": op.gemm.k}
+    if op.vsa is not None:
+        d["vsa"] = {"n": op.vsa.n, "d": op.vsa.d}
+    return d
+
+
+def _op_from_dict(d: dict) -> TraceOp:
+    try:
+        gemm = GemmDims(**d["gemm"]) if "gemm" in d else None
+        vsa = VsaDims(**d["vsa"]) if "vsa" in d else None
+        return TraceOp(
+            name=d["name"],
+            kind=d["kind"],
+            domain=OpDomain(d["domain"]),
+            unit=ExecutionUnit(d["unit"]),
+            inputs=tuple(d["inputs"]),
+            output_shape=tuple(d["output_shape"]),
+            gemm=gemm,
+            vsa=vsa,
+            flops=d["flops"],
+            bytes_read=d["bytes_read"],
+            bytes_written=d["bytes_written"],
+            loop_index=d.get("loop_index", 0),
+            params=d.get("params", {}),
+        )
+    except (KeyError, ValueError) as exc:
+        raise TraceError(f"malformed trace op record: {exc}") from exc
+
+
+def trace_to_json(trace: Trace, indent: int | None = 2) -> str:
+    """Serialize a trace to a JSON document."""
+    doc = {
+        "format_version": _FORMAT_VERSION,
+        "workload": trace.workload,
+        "ops": [_op_to_dict(op) for op in trace.ops],
+    }
+    return json.dumps(doc, indent=indent)
+
+
+def trace_from_json(text: str) -> Trace:
+    """Parse a trace from :func:`trace_to_json` output."""
+    try:
+        doc = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise TraceError(f"trace JSON does not parse: {exc}") from exc
+    if not isinstance(doc, dict) or "ops" not in doc or "workload" not in doc:
+        raise TraceError("trace JSON missing 'workload'/'ops' fields")
+    version = doc.get("format_version")
+    if version != _FORMAT_VERSION:
+        raise TraceError(f"unsupported trace format version {version!r}")
+    ops = [_op_from_dict(d) for d in doc["ops"]]
+    return Trace(doc["workload"], ops)
+
+
+def _shape_suffix(shape: tuple[int, ...]) -> str:
+    return "[" + ",".join(str(s) for s in shape) + "]"
+
+
+def trace_to_listing(trace: Trace) -> str:
+    """Render the Listing-1-style human-readable trace.
+
+    Neural module ops print as ``call_module[kind]``; everything else as
+    ``call_function[ns.kind]`` with a domain namespace, matching the
+    paper's NVSA profiling snapshot.
+    """
+    lines = ["graph():"]
+    shapes = {op.name: op.output_shape for op in trace.ops}
+    for op in trace.ops:
+        args = ", ".join(
+            f"{dep}{_shape_suffix(shapes[dep])}" if dep in shapes else dep
+            for dep in op.inputs
+        )
+        if op.domain is OpDomain.NEURAL and op.unit is not ExecutionUnit.HOST:
+            call = f"call_module[{op.kind}]"
+        else:
+            ns = "nvsa" if op.unit is ExecutionUnit.ARRAY_VSA else "torch"
+            call = f"call_function[{ns}.{op.kind}]"
+        lines.append(
+            f"    {op.name}{_shape_suffix(op.output_shape)} : {call}(args = ({args}))"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,218 @@
+"""Trace builder with automatic naming and cost accounting.
+
+``Tracer`` is the glue between workload programs and the trace data model:
+each ``record_*`` call appends one validated :class:`TraceOp`, generates a
+unique Listing-1-style name (``%conv2d_1``, ``%inv_binding_circular_2``),
+and derives FLOP/byte counters from the operator's dimensions unless the
+caller overrides them.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+from ..errors import TraceError
+from ..nn.gemm import GemmDims
+from ..nn.resnet import LayerOp
+from ..utils import prod
+from .opnode import ExecutionUnit, OpDomain, Trace, TraceOp, VsaDims
+
+__all__ = ["Tracer"]
+
+#: Default storage bytes per element used for byte-traffic accounting when a
+#: workload does not specify precision (FP32 hosts; the accelerator's mixed
+#: precision is applied later by the memory model).
+_DEFAULT_ELEMENT_BYTES = 4
+
+
+class Tracer:
+    """Accumulates :class:`TraceOp` records for one workload execution."""
+
+    def __init__(self, workload: str, element_bytes: int = _DEFAULT_ELEMENT_BYTES):
+        if element_bytes <= 0:
+            raise TraceError(f"element_bytes must be positive, got {element_bytes}")
+        self.workload = workload
+        self.element_bytes = element_bytes
+        self._ops: list[TraceOp] = []
+        self._counts: Counter[str] = Counter()
+        self._loop_index = 0
+
+    # -- naming --------------------------------------------------------------
+
+    def _next_name(self, kind: str) -> str:
+        self._counts[kind] += 1
+        return f"%{kind}_{self._counts[kind]}"
+
+    def set_loop(self, loop_index: int) -> None:
+        """Tag subsequently recorded ops with a loop iteration index."""
+        if loop_index < 0:
+            raise TraceError(f"loop_index must be >= 0, got {loop_index}")
+        self._loop_index = loop_index
+
+    # -- generic record --------------------------------------------------------
+
+    def record(
+        self,
+        kind: str,
+        domain: OpDomain,
+        unit: ExecutionUnit,
+        inputs: tuple[str, ...],
+        output_shape: tuple[int, ...],
+        *,
+        gemm: GemmDims | None = None,
+        vsa: VsaDims | None = None,
+        flops: int | None = None,
+        bytes_read: int | None = None,
+        bytes_written: int | None = None,
+        params: dict | None = None,
+        weight_elements: int = 0,
+    ) -> TraceOp:
+        """Append one op; unspecified counters are derived from dimensions."""
+        out_elems = prod(output_shape) if output_shape else 1
+        if flops is None:
+            if gemm is not None:
+                flops = gemm.flops
+            elif vsa is not None:
+                flops = vsa.flops
+            else:
+                flops = out_elems
+        if bytes_read is None:
+            if gemm is not None:
+                in_elems = gemm.input_elements + gemm.weight_elements
+            elif vsa is not None:
+                in_elems = 2 * vsa.n * vsa.d
+            else:
+                in_elems = out_elems * max(1, len(inputs))
+            bytes_read = (in_elems + weight_elements) * self.element_bytes
+        if bytes_written is None:
+            bytes_written = out_elems * self.element_bytes
+        op = TraceOp(
+            name=self._next_name(kind),
+            kind=kind,
+            domain=domain,
+            unit=unit,
+            inputs=tuple(inputs),
+            output_shape=tuple(output_shape),
+            gemm=gemm,
+            vsa=vsa,
+            flops=flops,
+            bytes_read=bytes_read,
+            bytes_written=bytes_written,
+            loop_index=self._loop_index,
+            params=dict(params or {}),
+        )
+        self._ops.append(op)
+        return op
+
+    # -- neural helpers ---------------------------------------------------------
+
+    def record_layer(self, layer_op: LayerOp, name_map: dict[str, str]) -> TraceOp:
+        """Record one structural NN op from :meth:`ResNet.describe`.
+
+        ``name_map`` translates network-internal producer names to trace
+        names (external inputs pass through unchanged).
+        """
+        unit = ExecutionUnit.ARRAY_NN if layer_op.gemm is not None else ExecutionUnit.SIMD
+        inputs = tuple(name_map.get(dep, dep) for dep in layer_op.deps)
+        op = self.record(
+            kind=layer_op.kind,
+            domain=OpDomain.NEURAL,
+            unit=unit,
+            inputs=inputs,
+            output_shape=layer_op.output_shape,
+            gemm=layer_op.gemm,
+            flops=layer_op.flops,
+            weight_elements=layer_op.weight_elements,
+            params=dict(layer_op.params),
+        )
+        name_map[layer_op.name] = op.name
+        return op
+
+    def record_network(
+        self,
+        describe_ops: list[LayerOp],
+        input_name: str = "%input",
+        network_input: str = "input",
+    ) -> tuple[TraceOp, dict[str, str]]:
+        """Record a whole structural network walk; returns the tail op."""
+        if not describe_ops:
+            raise TraceError("cannot record an empty network")
+        name_map = {network_input: input_name}
+        last: TraceOp | None = None
+        for layer_op in describe_ops:
+            last = self.record_layer(layer_op, name_map)
+        assert last is not None
+        return last, name_map
+
+    # -- symbolic helpers ---------------------------------------------------------
+
+    def record_binding(
+        self,
+        inputs: tuple[str, ...],
+        n_vectors: int,
+        dim: int,
+        *,
+        inverse: bool = False,
+        params: dict | None = None,
+    ) -> TraceOp:
+        """A blockwise circular convolution (or correlation) node."""
+        kind = "inv_binding_circular" if inverse else "binding_circular"
+        return self.record(
+            kind=kind,
+            domain=OpDomain.SYMBOLIC,
+            unit=ExecutionUnit.ARRAY_VSA,
+            inputs=inputs,
+            output_shape=(n_vectors, dim),
+            vsa=VsaDims(n=n_vectors, d=dim),
+            params=params,
+        )
+
+    def record_simd(
+        self,
+        kind: str,
+        inputs: tuple[str, ...],
+        output_shape: tuple[int, ...],
+        domain: OpDomain = OpDomain.SYMBOLIC,
+        *,
+        flops: int | None = None,
+        bytes_read: int | None = None,
+        bytes_written: int | None = None,
+        params: dict | None = None,
+    ) -> TraceOp:
+        """An element-wise / reduction / similarity node on the SIMD unit."""
+        return self.record(
+            kind=kind,
+            domain=domain,
+            unit=ExecutionUnit.SIMD,
+            inputs=inputs,
+            output_shape=output_shape,
+            flops=flops,
+            bytes_read=bytes_read,
+            bytes_written=bytes_written,
+            params=params,
+        )
+
+    def record_host(
+        self,
+        kind: str,
+        inputs: tuple[str, ...],
+        output_shape: tuple[int, ...] = (1,),
+        domain: OpDomain = OpDomain.SYMBOLIC,
+    ) -> TraceOp:
+        """Scalar glue executed by the host CPU (negligible cost)."""
+        return self.record(
+            kind=kind,
+            domain=domain,
+            unit=ExecutionUnit.HOST,
+            inputs=inputs,
+            output_shape=output_shape,
+            flops=0,
+            bytes_read=0,
+            bytes_written=0,
+        )
+
+    # -- finish --------------------------------------------------------------------
+
+    def finish(self) -> Trace:
+        """Validate and return the trace."""
+        return Trace(self.workload, self._ops)

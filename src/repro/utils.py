@@ -1,0 +1,120 @@
+"""Small shared helpers used across the NSFlow reproduction."""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Iterable, Sequence
+
+import numpy as np
+
+from .errors import ConfigError
+
+__all__ = [
+    "ceil_div",
+    "prod",
+    "clamp",
+    "is_power_of_two",
+    "next_power_of_two",
+    "log2_int",
+    "human_bytes",
+    "make_rng",
+    "normalize",
+    "topk_indices",
+    "MB",
+    "KB",
+]
+
+KB = 1024
+MB = 1024 * 1024
+
+
+def ceil_div(a: int, b: int) -> int:
+    """Return ``ceil(a / b)`` for non-negative ``a`` and positive ``b``.
+
+    This is the ``⌈·⌉`` that appears throughout the paper's analytical
+    runtime models (Eqs. 1-4).
+    """
+    if b <= 0:
+        raise ConfigError(f"ceil_div divisor must be positive, got {b}")
+    if a < 0:
+        raise ConfigError(f"ceil_div numerator must be non-negative, got {a}")
+    return -(-a // b)
+
+
+def prod(values: Iterable[int]) -> int:
+    """Product of an iterable of ints (empty product is 1)."""
+    result = 1
+    for v in values:
+        result *= v
+    return result
+
+
+def clamp(value: float, low: float, high: float) -> float:
+    """Clamp ``value`` into the closed interval [low, high]."""
+    if low > high:
+        raise ConfigError(f"clamp bounds inverted: [{low}, {high}]")
+    return max(low, min(high, value))
+
+
+def is_power_of_two(n: int) -> bool:
+    """True when ``n`` is a positive power of two."""
+    return n > 0 and (n & (n - 1)) == 0
+
+
+def next_power_of_two(n: int) -> int:
+    """Smallest power of two that is >= ``n`` (n must be positive)."""
+    if n <= 0:
+        raise ConfigError(f"next_power_of_two needs a positive int, got {n}")
+    return 1 << (n - 1).bit_length()
+
+
+def log2_int(n: int) -> int:
+    """Exact integer log2; raises when ``n`` is not a power of two."""
+    if not is_power_of_two(n):
+        raise ConfigError(f"{n} is not a power of two")
+    return n.bit_length() - 1
+
+
+def human_bytes(n: float) -> str:
+    """Format a byte count like ``2.7 MB`` (decimal on top of binary units)."""
+    if n < 0:
+        raise ConfigError(f"byte count must be non-negative, got {n}")
+    for unit in ("B", "KB", "MB", "GB", "TB"):
+        if n < 1024 or unit == "TB":
+            if unit == "B":
+                return f"{int(n)} {unit}"
+            return f"{n:.2f} {unit}"
+        n /= 1024
+    raise AssertionError("unreachable")
+
+
+def make_rng(seed: int | None | np.random.Generator) -> np.random.Generator:
+    """Return a numpy Generator from a seed, ``None``, or a Generator."""
+    if isinstance(seed, np.random.Generator):
+        return seed
+    return np.random.default_rng(seed)
+
+
+def normalize(vec: np.ndarray, axis: int = -1, eps: float = 1e-12) -> np.ndarray:
+    """L2-normalize ``vec`` along ``axis``; zero vectors stay zero."""
+    norm = np.linalg.norm(vec, axis=axis, keepdims=True)
+    return vec / np.maximum(norm, eps)
+
+
+def topk_indices(scores: Sequence[float] | np.ndarray, k: int) -> list[int]:
+    """Indices of the ``k`` largest scores, in descending-score order."""
+    arr = np.asarray(scores, dtype=np.float64)
+    if k < 0 or k > arr.size:
+        raise ConfigError(f"k={k} out of range for {arr.size} scores")
+    order = np.argsort(-arr, kind="stable")
+    return [int(i) for i in order[:k]]
+
+
+def geomean(values: Sequence[float]) -> float:
+    """Geometric mean of positive values (used for speedup summaries)."""
+    vals = [float(v) for v in values]
+    if not vals:
+        raise ConfigError("geomean of empty sequence")
+    if any(v <= 0 for v in vals):
+        raise ConfigError("geomean requires positive values")
+    return math.exp(sum(math.log(v) for v in vals) / len(vals))

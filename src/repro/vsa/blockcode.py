@@ -1,0 +1,117 @@
+"""Block-code vectors: the NVSA representation.
+
+NVSA (Hersche et al., Nature MI 2023 — paper ref. [17]) represents symbols
+as *block codes*: a vector of shape ``(blocks, block_dim)`` whose binding is
+blockwise circular convolution. Listing 1's kernels operate on shapes like
+``[1, 4, 256]`` — a batch of one, four blocks, 256 elements per block. This
+module wraps that layout in a small value type with the VSA algebra, so the
+workload code reads like the paper's pseudo-trace.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import ShapeError
+from ..utils import make_rng
+from . import ops
+
+__all__ = ["BlockCodeVector", "random_block_code"]
+
+
+@dataclass(frozen=True)
+class BlockCodeVector:
+    """An immutable block-code vector of shape ``(blocks, block_dim)``."""
+
+    data: np.ndarray
+
+    def __post_init__(self) -> None:
+        arr = np.asarray(self.data, dtype=np.float64)
+        if arr.ndim != 2:
+            raise ShapeError(f"block code must be 2-D (blocks, block_dim), got shape {arr.shape}")
+        object.__setattr__(self, "data", arr)
+
+    @property
+    def blocks(self) -> int:
+        return self.data.shape[0]
+
+    @property
+    def block_dim(self) -> int:
+        return self.data.shape[1]
+
+    @property
+    def dim(self) -> int:
+        """Total element count (blocks × block_dim)."""
+        return self.data.size
+
+    def _check_compatible(self, other: "BlockCodeVector") -> None:
+        if self.data.shape != other.data.shape:
+            raise ShapeError(
+                f"block-code shapes differ: {self.data.shape} vs {other.data.shape}"
+            )
+
+    def bind(self, other: "BlockCodeVector") -> "BlockCodeVector":
+        """Blockwise circular-convolution binding (the VSA ``⊛``)."""
+        self._check_compatible(other)
+        return BlockCodeVector(ops.circular_convolution(self.data, other.data))
+
+    def unbind(self, other: "BlockCodeVector") -> "BlockCodeVector":
+        """Inverse binding by blockwise circular correlation.
+
+        ``a.bind(b).unbind(a) ≈ b`` for quasi-unitary ``a`` — this is the
+        ``nvsa.inv_binding_circular`` kernel of Listing 1.
+        """
+        self._check_compatible(other)
+        return BlockCodeVector(ops.circular_correlation(other.data, self.data))
+
+    def bundle(self, other: "BlockCodeVector") -> "BlockCodeVector":
+        """Element-wise superposition."""
+        self._check_compatible(other)
+        return BlockCodeVector(self.data + other.data)
+
+    def scale(self, factor: float) -> "BlockCodeVector":
+        return BlockCodeVector(self.data * factor)
+
+    def normalized(self) -> "BlockCodeVector":
+        """Per-block L2 normalization (keeps blocks quasi-unitary)."""
+        norms = np.linalg.norm(self.data, axis=-1, keepdims=True)
+        return BlockCodeVector(self.data / np.maximum(norms, 1e-12))
+
+    def similarity(self, other: "BlockCodeVector") -> float:
+        """Mean per-block cosine similarity in [-1, 1]."""
+        self._check_compatible(other)
+        sims = ops.cosine_similarity(self.data, other.data)
+        return float(np.mean(sims))
+
+    def permute(self, shift: int = 1) -> "BlockCodeVector":
+        return BlockCodeVector(ops.permute_blocks(self.data, shift))
+
+    def flatten(self) -> np.ndarray:
+        """Flat view of shape ``(blocks * block_dim,)`` (copy)."""
+        return self.data.reshape(-1).copy()
+
+    def __add__(self, other: "BlockCodeVector") -> "BlockCodeVector":
+        return self.bundle(other)
+
+    def __mul__(self, factor: float) -> "BlockCodeVector":
+        return self.scale(float(factor))
+
+    __rmul__ = __mul__
+
+
+def random_block_code(
+    blocks: int,
+    block_dim: int,
+    rng: np.random.Generator | int | None = None,
+) -> BlockCodeVector:
+    """Draw a random quasi-unitary block code.
+
+    Each block is an i.i.d. Gaussian vector normalized to unit L2 norm, so
+    circular-correlation unbinding approximately inverts binding.
+    """
+    gen = make_rng(rng)
+    data = gen.standard_normal((blocks, block_dim))
+    data /= np.maximum(np.linalg.norm(data, axis=-1, keepdims=True), 1e-12)
+    return BlockCodeVector(data)

@@ -1,0 +1,207 @@
+"""Codebooks, cleanup memory, and the similarity kernels of Listing 1.
+
+An NVSA-style codebook maps discrete attribute values (e.g. *shape=triangle*,
+*count=3*) to quasi-orthogonal block-code vectors. Reasoning queries unbind a
+composite scene vector and then ask the codebook which atom the residual most
+resembles — either as a hard cleanup (argmax) or as a probability
+distribution over atoms (``match_prob``), matching the
+``nvsa.match_prob`` / ``nvsa.match_prob_multi_batched`` kernels in the
+paper's Listing 1 trace.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+from ..errors import ShapeError
+from ..utils import make_rng
+from .blockcode import BlockCodeVector, random_block_code
+from . import ops
+
+__all__ = ["Codebook", "match_prob", "match_prob_multi_batched"]
+
+
+def match_prob(query: np.ndarray, key: np.ndarray) -> float:
+    """Similarity between two block-code arrays mapped to [0, 1].
+
+    Mean per-block cosine similarity, clipped at zero: dissimilar (noise)
+    pairs score ≈ 0, identical pairs score 1. This is the scalar
+    ``match_prob`` kernel of Listing 1.
+    """
+    query = np.asarray(query, dtype=np.float64)
+    key = np.asarray(key, dtype=np.float64)
+    if query.shape != key.shape:
+        raise ShapeError(f"match_prob shapes differ: {query.shape} vs {key.shape}")
+    sims = ops.cosine_similarity(query, key)
+    return float(np.clip(np.mean(sims), 0.0, 1.0))
+
+
+def match_prob_multi_batched(query: np.ndarray, keys: np.ndarray) -> np.ndarray:
+    """``match_prob`` of one query against a dictionary of keys.
+
+    ``query`` has shape ``(blocks, d)``; ``keys`` has shape
+    ``(n_keys, blocks, d)``. Returns ``(n_keys,)`` scores in [0, 1]. This is
+    Listing 1's ``match_prob_multi_batched`` (one query, batched keys).
+    """
+    query = np.asarray(query, dtype=np.float64)
+    keys = np.asarray(keys, dtype=np.float64)
+    if keys.ndim != query.ndim + 1 or keys.shape[1:] != query.shape:
+        raise ShapeError(
+            f"keys shape {keys.shape} incompatible with query shape {query.shape}"
+        )
+    sims = ops.cosine_similarity(keys, query[None, ...])
+    return np.clip(np.mean(sims, axis=-1), 0.0, 1.0)
+
+
+class Codebook:
+    """A named dictionary of quasi-orthogonal block-code atoms.
+
+    Parameters
+    ----------
+    atoms:
+        Mapping order defines atom indices. Values are
+        :class:`~repro.vsa.blockcode.BlockCodeVector` of identical shape.
+    name:
+        Diagnostic label (e.g. ``"shape"``, ``"count"``).
+    """
+
+    def __init__(self, name: str, atoms: Sequence[tuple[str, BlockCodeVector]]):
+        if not atoms:
+            raise ShapeError(f"codebook {name!r} needs at least one atom")
+        self.name = name
+        self._labels = [label for label, _ in atoms]
+        shape = atoms[0][1].data.shape
+        for label, vec in atoms:
+            if vec.data.shape != shape:
+                raise ShapeError(
+                    f"codebook {name!r} atom {label!r} has shape {vec.data.shape}, expected {shape}"
+                )
+        self._matrix = np.stack([vec.data for _, vec in atoms], axis=0)
+
+    # -- construction -----------------------------------------------------
+
+    @classmethod
+    def random(
+        cls,
+        name: str,
+        labels: Sequence[str],
+        blocks: int,
+        block_dim: int,
+        rng: np.random.Generator | int | None = None,
+    ) -> "Codebook":
+        """Build a codebook of i.i.d. random quasi-unitary atoms."""
+        gen = make_rng(rng)
+        atoms = [(str(label), random_block_code(blocks, block_dim, gen)) for label in labels]
+        return cls(name, atoms)
+
+    @classmethod
+    def fractional_power(
+        cls,
+        name: str,
+        n_values: int,
+        blocks: int,
+        block_dim: int,
+        rng: np.random.Generator | int | None = None,
+    ) -> "Codebook":
+        """Encode ordered values 0..n-1 as self-binding powers of one base.
+
+        With a unitary base ``g``, atom ``k`` is ``g^⊛k`` so the VSA algebra
+        carries arithmetic structure exactly: ``atom(a) ⊛ atom(b) = atom(a+b)``
+        and ``unbind(atom(k), atom(k+d)) = atom(d)``. This is what lets the
+        NVSA reasoner check progression/arithmetic rules with single binding
+        ops (paper Sec. II-A; Hersche et al. [17]).
+        """
+        if n_values < 1:
+            raise ShapeError(f"n_values must be >= 1, got {n_values}")
+        gen = make_rng(rng)
+        base = ops.random_unitary_vector(block_dim, blocks=blocks, rng=gen)
+        base = base.reshape(blocks, block_dim)
+        atoms = [
+            (str(k), BlockCodeVector(ops.bind_power(base, k)))
+            for k in range(n_values)
+        ]
+        return cls(name, atoms)
+
+    # -- basic accessors ---------------------------------------------------
+
+    @property
+    def labels(self) -> list[str]:
+        return list(self._labels)
+
+    @property
+    def size(self) -> int:
+        return len(self._labels)
+
+    @property
+    def blocks(self) -> int:
+        return self._matrix.shape[1]
+
+    @property
+    def block_dim(self) -> int:
+        return self._matrix.shape[2]
+
+    @property
+    def matrix(self) -> np.ndarray:
+        """All atoms stacked: shape ``(size, blocks, block_dim)`` (copy)."""
+        return self._matrix.copy()
+
+    @property
+    def n_elements(self) -> int:
+        """Total stored elements (for memory-footprint accounting)."""
+        return self._matrix.size
+
+    def __len__(self) -> int:
+        return self.size
+
+    def __contains__(self, label: str) -> bool:
+        return label in self._labels
+
+    def __getitem__(self, label: str) -> BlockCodeVector:
+        try:
+            idx = self._labels.index(label)
+        except ValueError as exc:
+            raise KeyError(f"codebook {self.name!r} has no atom {label!r}") from exc
+        return BlockCodeVector(self._matrix[idx].copy())
+
+    def atom(self, index: int) -> BlockCodeVector:
+        return BlockCodeVector(self._matrix[index].copy())
+
+    def index_of(self, label: str) -> int:
+        return self._labels.index(label)
+
+    # -- cleanup / similarity ----------------------------------------------
+
+    def scores(self, query: BlockCodeVector | np.ndarray) -> np.ndarray:
+        """``match_prob`` of the query against every atom: shape ``(size,)``."""
+        data = query.data if isinstance(query, BlockCodeVector) else np.asarray(query)
+        return match_prob_multi_batched(data, self._matrix)
+
+    def cleanup(self, query: BlockCodeVector | np.ndarray) -> tuple[str, float]:
+        """Nearest atom label and its score (hard cleanup memory)."""
+        s = self.scores(query)
+        idx = int(np.argmax(s))
+        return self._labels[idx], float(s[idx])
+
+    def probabilities(self, query: BlockCodeVector | np.ndarray, temperature: float = 0.05) -> np.ndarray:
+        """Softmax distribution over atoms (the PMF view used by LVRF/PrAE)."""
+        if temperature <= 0:
+            raise ShapeError(f"temperature must be positive, got {temperature}")
+        s = self.scores(query) / temperature
+        s -= s.max()
+        e = np.exp(s)
+        return e / e.sum()
+
+    def encode_pmf(self, pmf: np.ndarray) -> BlockCodeVector:
+        """PMF → VSA vector: probability-weighted atom superposition.
+
+        This is the "PMF to VSA" stage in the paper's Fig. (a)/(c) workload
+        diagrams, converting a neural head's distribution over attribute
+        values into a single symbolic vector.
+        """
+        pmf = np.asarray(pmf, dtype=np.float64)
+        if pmf.shape != (self.size,):
+            raise ShapeError(f"pmf must have shape ({self.size},), got {pmf.shape}")
+        data = np.tensordot(pmf, self._matrix, axes=(0, 0))
+        return BlockCodeVector(data)

@@ -1,0 +1,218 @@
+"""Core VSA vector operations.
+
+The binding primitive is circular convolution (paper Sec. II-A):
+
+    ``C[n] = Σ_k A[k] · B[(n − k) mod d]``
+
+and the unbinding primitive is circular correlation:
+
+    ``C[n] = Σ_k A[k] · B[(n + k) mod d]``
+
+(the paper's Fig. 3(b) worked example computes ``Σ_k A[k]·B[(k − n) mod d]``,
+i.e. correlation with the roles swapped — identical hardware, see
+DESIGN.md "Interpretation notes"). Both are implemented with FFTs for
+O(d log d) host-side evaluation; the hardware simulator computes the same
+results with the streaming schedule of Fig. 3(b).
+
+All operations broadcast over leading axes, so a "blockwise" operation on
+shape ``(blocks, block_dim)`` (NVSA block codes) and a batch of vectors of
+shape ``(n, d)`` use the same functions.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import ShapeError
+from ..utils import make_rng
+
+__all__ = [
+    "circular_convolution",
+    "circular_correlation",
+    "bundle",
+    "dot_similarity",
+    "cosine_similarity",
+    "permute_blocks",
+    "random_vector",
+    "unit_vector",
+    "exact_circular_convolution",
+    "exact_circular_correlation",
+]
+
+
+def _check_last_axis(a: np.ndarray, b: np.ndarray) -> None:
+    if a.shape[-1] != b.shape[-1]:
+        raise ShapeError(
+            f"operands disagree on vector dimension: {a.shape[-1]} vs {b.shape[-1]}"
+        )
+
+
+def circular_convolution(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Bind two vectors: ``C[n] = Σ_k A[k]·B[(n−k) mod d]`` along the last axis.
+
+    Commutative and associative (Sec. II-A); the identity element is the
+    delta vector ``[1, 0, …, 0]``.
+    """
+    a = np.asarray(a, dtype=np.float64)
+    b = np.asarray(b, dtype=np.float64)
+    _check_last_axis(a, b)
+    fa = np.fft.rfft(a, axis=-1)
+    fb = np.fft.rfft(b, axis=-1)
+    return np.fft.irfft(fa * fb, n=a.shape[-1], axis=-1)
+
+
+def circular_correlation(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Unbind: ``C[n] = Σ_k A[k]·B[(n+k) mod d]`` along the last axis.
+
+    For approximately unitary ``a``, ``circular_correlation(a,
+    circular_convolution(a, b)) ≈ b``, which is the inverse-binding kernel
+    (``nvsa.inv_binding_circular`` in Listing 1).
+    """
+    a = np.asarray(a, dtype=np.float64)
+    b = np.asarray(b, dtype=np.float64)
+    _check_last_axis(a, b)
+    fa = np.fft.rfft(a, axis=-1)
+    fb = np.fft.rfft(b, axis=-1)
+    return np.fft.irfft(np.conj(fa) * fb, n=a.shape[-1], axis=-1)
+
+
+def exact_circular_convolution(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """O(d²) reference implementation of :func:`circular_convolution`.
+
+    Used by tests and by the hardware simulator's golden model; kept simple
+    and index-explicit on purpose.
+    """
+    a = np.asarray(a, dtype=np.float64)
+    b = np.asarray(b, dtype=np.float64)
+    _check_last_axis(a, b)
+    d = a.shape[-1]
+    out = np.zeros(np.broadcast_shapes(a.shape, b.shape), dtype=np.float64)
+    for n in range(d):
+        acc = np.zeros(out.shape[:-1], dtype=np.float64)
+        for k in range(d):
+            acc = acc + a[..., k] * b[..., (n - k) % d]
+        out[..., n] = acc
+    return out
+
+
+def exact_circular_correlation(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """O(d²) reference implementation of :func:`circular_correlation`."""
+    a = np.asarray(a, dtype=np.float64)
+    b = np.asarray(b, dtype=np.float64)
+    _check_last_axis(a, b)
+    d = a.shape[-1]
+    out = np.zeros(np.broadcast_shapes(a.shape, b.shape), dtype=np.float64)
+    for n in range(d):
+        acc = np.zeros(out.shape[:-1], dtype=np.float64)
+        for k in range(d):
+            acc = acc + a[..., k] * b[..., (n + k) % d]
+        out[..., n] = acc
+    return out
+
+
+def bundle(*vectors: np.ndarray) -> np.ndarray:
+    """Superpose vectors element-wise (the VSA "+" operation)."""
+    if not vectors:
+        raise ShapeError("bundle needs at least one vector")
+    out = np.asarray(vectors[0], dtype=np.float64).copy()
+    for v in vectors[1:]:
+        v = np.asarray(v, dtype=np.float64)
+        if v.shape != out.shape:
+            raise ShapeError(f"bundle shape mismatch: {out.shape} vs {v.shape}")
+        out += v
+    return out
+
+
+def dot_similarity(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Inner product along the last axis (batched)."""
+    a = np.asarray(a, dtype=np.float64)
+    b = np.asarray(b, dtype=np.float64)
+    _check_last_axis(a, b)
+    return np.sum(a * b, axis=-1)
+
+
+def cosine_similarity(a: np.ndarray, b: np.ndarray, eps: float = 1e-12) -> np.ndarray:
+    """Cosine similarity along the last axis (batched)."""
+    a = np.asarray(a, dtype=np.float64)
+    b = np.asarray(b, dtype=np.float64)
+    _check_last_axis(a, b)
+    num = np.sum(a * b, axis=-1)
+    den = np.linalg.norm(a, axis=-1) * np.linalg.norm(b, axis=-1)
+    return num / np.maximum(den, eps)
+
+
+def permute_blocks(a: np.ndarray, shift: int = 1) -> np.ndarray:
+    """Cyclically permute elements along the last axis (the VSA "ρ" operator).
+
+    Permutation protects positional information when bundling sequences
+    (used by the PGM-style row encodings in the datasets package).
+    """
+    a = np.asarray(a, dtype=np.float64)
+    return np.roll(a, shift, axis=-1)
+
+
+def random_vector(
+    dim: int,
+    *,
+    blocks: int = 1,
+    rng: np.random.Generator | int | None = None,
+) -> np.ndarray:
+    """Draw a random unit-RMS Gaussian vector of shape ``(blocks, dim)``.
+
+    Gaussian vectors of dimension ``d`` have pairwise cosine similarity
+    ``O(1/sqrt(d))``, giving the quasi-orthogonality VSAs rely on. With
+    ``blocks == 1`` the leading axis is squeezed.
+    """
+    gen = make_rng(rng)
+    v = gen.standard_normal((blocks, dim)) / np.sqrt(dim)
+    return v[0] if blocks == 1 else v
+
+
+def unit_vector(dim: int, *, blocks: int = 1) -> np.ndarray:
+    """The binding identity: delta vector(s) ``[1, 0, …, 0]``."""
+    v = np.zeros((blocks, dim), dtype=np.float64)
+    v[:, 0] = 1.0
+    return v[0] if blocks == 1 else v
+
+
+def random_unitary_vector(
+    dim: int,
+    *,
+    blocks: int = 1,
+    rng: np.random.Generator | int | None = None,
+) -> np.ndarray:
+    """Draw a random *unitary* vector: unit-modulus spectrum, real entries.
+
+    Unitary vectors make circular convolution exactly invertible
+    (``circular_correlation(a, circular_convolution(a, b)) == b``) and keep
+    all self-binding powers at unit norm — the property fractional-power
+    value encodings rely on (see ``Codebook.fractional_power``).
+    """
+    gen = make_rng(rng)
+    n_freq = dim // 2 + 1
+    phases = gen.uniform(-np.pi, np.pi, size=(blocks, n_freq))
+    # Real signals need real DC (and Nyquist, for even dims) components.
+    phases[:, 0] = 0.0
+    if dim % 2 == 0:
+        phases[:, -1] = 0.0
+    spectrum = np.exp(1j * phases)
+    v = np.fft.irfft(spectrum, n=dim, axis=-1) * np.sqrt(dim)
+    # Normalize to unit L2 norm (|spectrum| = 1 everywhere gives exactly 1).
+    v /= np.maximum(np.linalg.norm(v, axis=-1, keepdims=True), 1e-12)
+    return v[0] if blocks == 1 else v
+
+
+def bind_power(base: np.ndarray, exponent: int) -> np.ndarray:
+    """``exponent``-fold self-binding of ``base`` (``base^⊛k``).
+
+    ``bind_power(g, 0)`` is the binding identity; negative exponents use
+    the correlation inverse, exact for unitary ``base``.
+    """
+    base = np.asarray(base, dtype=np.float64)
+    d = base.shape[-1]
+    f = np.fft.rfft(base, axis=-1)
+    if exponent >= 0:
+        powered = f**exponent
+    else:
+        powered = np.conj(f) ** (-exponent)
+    return np.fft.irfft(powered, n=d, axis=-1)

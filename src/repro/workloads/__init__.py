@@ -1,0 +1,44 @@
+"""The four NSAI workloads of Table I, plus a scalable synthetic workload.
+
+Each workload is a *traceable program*: it can solve its task functionally
+(numpy) and it can emit a Listing-1-style execution trace at the paper's
+deployment scale for the DAG frontend. The four models are:
+
+* :class:`~repro.workloads.nvsa.NvsaWorkload` — neuro-vector-symbolic
+  architecture for RPM reasoning (ResNet-18 + VSA abduction/execution);
+* :class:`~repro.workloads.mimonet.MimoNetWorkload` — multiple-input
+  superposition networks (CNN + VSA binding, neural-dominated);
+* :class:`~repro.workloads.lvrf.LvrfWorkload` — probabilistic abduction
+  via learned rules in VSA;
+* :class:`~repro.workloads.prae.PraeWorkload` — probabilistic abduction
+  and execution on attribute PMFs (symbolic-dominated, no VSA vectors).
+
+:class:`~repro.workloads.scaling.ScalableNsaiWorkload` parameterizes the
+symbolic/neural balance for the Fig. 6 ablation.
+"""
+
+from .base import NSAIWorkload, WorkloadProfile
+from .nvsa import NvsaConfig, NvsaWorkload, PerceptionModel
+from .mimonet import MimoNetConfig, MimoNetWorkload
+from .lvrf import LvrfConfig, LvrfWorkload
+from .prae import PraeConfig, PraeWorkload
+from .scaling import ScalableConfig, ScalableNsaiWorkload
+from .registry import available_workloads, build_workload
+
+__all__ = [
+    "NSAIWorkload",
+    "WorkloadProfile",
+    "NvsaConfig",
+    "NvsaWorkload",
+    "PerceptionModel",
+    "MimoNetConfig",
+    "MimoNetWorkload",
+    "LvrfConfig",
+    "LvrfWorkload",
+    "PraeConfig",
+    "PraeWorkload",
+    "ScalableConfig",
+    "ScalableNsaiWorkload",
+    "available_workloads",
+    "build_workload",
+]

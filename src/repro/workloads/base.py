@@ -1,0 +1,76 @@
+"""Workload abstraction shared by the four NSAI models.
+
+A workload must expose exactly what the NSFlow toolchain consumes:
+
+* :meth:`NSAIWorkload.build_trace` — the operator-level execution trace of
+  one inference (paper Sec. V-B, Listing 1);
+* :meth:`NSAIWorkload.component_elements` — stored element counts per
+  component tag (``neural`` / ``symbolic``) for the mixed-precision memory
+  model (Table IV) and the frontend's memory sizing;
+* :meth:`NSAIWorkload.profile` — FLOP/byte rollups used by the Fig. 1
+  characterization.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+
+from ..trace.opnode import OpDomain, Trace
+
+__all__ = ["WorkloadProfile", "NSAIWorkload"]
+
+
+@dataclass(frozen=True)
+class WorkloadProfile:
+    """FLOP/byte rollup of one inference, split by domain."""
+
+    workload: str
+    neural_flops: int
+    symbolic_flops: int
+    neural_bytes: int
+    symbolic_bytes: int
+    n_ops: int
+
+    @property
+    def total_flops(self) -> int:
+        return self.neural_flops + self.symbolic_flops
+
+    @property
+    def total_bytes(self) -> int:
+        return self.neural_bytes + self.symbolic_bytes
+
+    @property
+    def symbolic_flop_fraction(self) -> float:
+        return self.symbolic_flops / max(1, self.total_flops)
+
+    @property
+    def symbolic_byte_fraction(self) -> float:
+        return self.symbolic_bytes / max(1, self.total_bytes)
+
+
+class NSAIWorkload(abc.ABC):
+    """Base class for traceable neuro-symbolic workloads."""
+
+    #: Short registry name ("nvsa", "mimonet", "lvrf", "prae", ...).
+    name: str = "workload"
+
+    @abc.abstractmethod
+    def build_trace(self) -> Trace:
+        """Operator-level trace of one end-to-end inference."""
+
+    @abc.abstractmethod
+    def component_elements(self) -> dict[str, int]:
+        """Stored elements per component tag (``neural`` / ``symbolic``)."""
+
+    def profile(self) -> WorkloadProfile:
+        """FLOP/byte rollup computed from the trace."""
+        trace = self.build_trace()
+        return WorkloadProfile(
+            workload=self.name,
+            neural_flops=trace.total_flops(OpDomain.NEURAL),
+            symbolic_flops=trace.total_flops(OpDomain.SYMBOLIC),
+            neural_bytes=trace.total_bytes(OpDomain.NEURAL),
+            symbolic_bytes=trace.total_bytes(OpDomain.SYMBOLIC),
+            n_ops=len(trace),
+        )

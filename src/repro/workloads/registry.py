@@ -1,0 +1,41 @@
+"""Workload registry: build any Table I workload by name."""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+
+from ..errors import ConfigError
+from .base import NSAIWorkload
+from .lvrf import LvrfConfig, LvrfWorkload
+from .mimonet import MimoNetConfig, MimoNetWorkload
+from .nvsa import NvsaConfig, NvsaWorkload
+from .prae import PraeConfig, PraeWorkload
+from .scaling import ScalableConfig, ScalableNsaiWorkload
+
+__all__ = ["available_workloads", "build_workload"]
+
+_FACTORIES: dict[str, Callable[..., NSAIWorkload]] = {
+    "nvsa": lambda **kw: NvsaWorkload(NvsaConfig(**kw)) if kw else NvsaWorkload(),
+    "mimonet": lambda **kw: MimoNetWorkload(MimoNetConfig(**kw)) if kw else MimoNetWorkload(),
+    "lvrf": lambda **kw: LvrfWorkload(LvrfConfig(**kw)) if kw else LvrfWorkload(),
+    "prae": lambda **kw: PraeWorkload(PraeConfig(**kw)) if kw else PraeWorkload(),
+    "scalable_nsai": lambda **kw: (
+        ScalableNsaiWorkload(ScalableConfig(**kw)) if kw else ScalableNsaiWorkload()
+    ),
+}
+
+
+def available_workloads() -> list[str]:
+    """Registry names, in Table I order."""
+    return list(_FACTORIES)
+
+
+def build_workload(name: str, **config_overrides) -> NSAIWorkload:
+    """Instantiate a workload by registry name with config overrides."""
+    try:
+        factory = _FACTORIES[name.lower()]
+    except KeyError as exc:
+        raise ConfigError(
+            f"unknown workload {name!r}; available: {', '.join(_FACTORIES)}"
+        ) from exc
+    return factory(**config_overrides)

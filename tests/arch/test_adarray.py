@@ -1,0 +1,106 @@
+"""Unit tests for the AdArray functional + cycle model."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.arch import AdArray
+from repro.errors import ConfigError, ShapeError, SimulationError
+from repro.model.runtime import layer_runtime, vsa_node_runtime
+from repro.nn.gemm import GemmDims
+from repro.trace.opnode import VsaDims
+from repro.vsa import ops
+
+
+@pytest.fixture(scope="module")
+def arr():
+    return AdArray(8, 8, 4)
+
+
+class TestGemmMode:
+    def test_values_exact(self, arr):
+        rng = np.random.default_rng(0)
+        a, b = rng.standard_normal((6, 10)), rng.standard_normal((10, 12))
+        result = arr.run_gemm(a, b, 2)
+        assert np.allclose(result.values, a @ b)
+
+    def test_cycles_match_eq1(self, arr):
+        rng = np.random.default_rng(1)
+        a, b = rng.standard_normal((6, 10)), rng.standard_normal((10, 12))
+        result = arr.run_gemm(a, b, 3)
+        assert result.cycles == layer_runtime(8, 8, 3, GemmDims(m=6, n=12, k=10))
+
+    def test_incompatible_shapes(self, arr):
+        with pytest.raises(ShapeError):
+            arr.run_gemm(np.ones((2, 3)), np.ones((4, 5)), 1)
+
+    def test_over_allocation_rejected(self, arr):
+        with pytest.raises(SimulationError):
+            arr.run_gemm(np.ones((2, 2)), np.ones((2, 2)), 5)
+
+    def test_utilization_bounded(self, arr):
+        rng = np.random.default_rng(2)
+        a, b = rng.standard_normal((64, 64)), rng.standard_normal((64, 64))
+        result = arr.run_gemm(a, b, 4)
+        assert 0.0 < result.pe_utilization <= 1.0
+
+
+class TestVsaMode:
+    def test_fast_path_matches_register_level(self, arr):
+        """The equivalence proof: the FFT fast path computes exactly what
+        the register-accurate folded column schedule computes."""
+        rng = np.random.default_rng(3)
+        for d in (4, 8, 20):
+            a, b = rng.standard_normal(d), rng.standard_normal(d)
+            for mode in ("correlation", "convolution"):
+                fast = arr.run_vsa(a, b, 1, mode)
+                slow = arr.run_vsa_register_level(a, b, mode)
+                assert np.allclose(fast.values.reshape(-1), slow.values, atol=1e-9)
+
+    def test_cycles_match_eq34(self, arr):
+        rng = np.random.default_rng(4)
+        a = rng.standard_normal((6, 16))
+        b = rng.standard_normal((6, 16))
+        for mapping in ("spatial", "temporal", "best"):
+            result = arr.run_vsa(a, b, 2, "correlation", mapping)
+            assert result.cycles == vsa_node_runtime(
+                8, 8, 2, VsaDims(n=6, d=16), mapping
+            )
+
+    @given(st.integers(2, 24), st.integers(0, 100))
+    @settings(max_examples=20, deadline=None)
+    def test_folded_register_level_correct(self, d, seed):
+        """Folding over ceil(d/H) passes stays exact for any d."""
+        small = AdArray(4, 4, 1)
+        rng = np.random.default_rng(seed)
+        a, b = rng.standard_normal(d), rng.standard_normal(d)
+        result = small.run_vsa_register_level(a, b, "correlation")
+        assert np.allclose(result.values, ops.circular_correlation(a, b), atol=1e-9)
+
+    def test_batched_shapes(self, arr):
+        rng = np.random.default_rng(5)
+        a = rng.standard_normal((3, 8))
+        b = rng.standard_normal((3, 8))
+        result = arr.run_vsa(a, b, 1, "convolution")
+        assert result.values.shape == (3, 8)
+        for i in range(3):
+            assert np.allclose(
+                result.values[i], ops.circular_convolution(a[i], b[i]), atol=1e-9
+            )
+
+    def test_mismatched_operands(self, arr):
+        with pytest.raises(ShapeError):
+            arr.run_vsa(np.ones((2, 8)), np.ones((3, 8)), 1)
+
+    def test_unknown_mode(self, arr):
+        with pytest.raises(SimulationError):
+            arr.run_vsa(np.ones(4), np.ones(4), 1, "hadamard")
+
+
+class TestConstruction:
+    def test_total_pes(self):
+        assert AdArray(16, 64, 8).total_pes == 8192
+
+    def test_invalid_geometry(self):
+        with pytest.raises(ConfigError):
+            AdArray(0, 8, 1)

@@ -1,0 +1,95 @@
+"""Register-level column simulator vs the VSA algebra — the key
+internal-validity test of the whole backend: the streaming schedule of
+Fig. 3(b) must compute exactly the circular correlation/convolution the
+host library defines, in exactly ``T = 3H + d − 1`` cycles."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.arch.column import WARMUP_CYCLES, simulate_column
+from repro.errors import ShapeError, SimulationError
+from repro.vsa import ops
+
+
+class TestFunctionalEquivalence:
+    @given(st.integers(1, 12), st.integers(0, 300))
+    @settings(max_examples=40, deadline=None)
+    def test_correlation_matches_fft(self, d, seed):
+        rng = np.random.default_rng(seed)
+        a, b = rng.standard_normal(d), rng.standard_normal(d)
+        result = simulate_column(a, b, height=max(d, 2), mode="correlation")
+        assert np.allclose(result.values, ops.circular_correlation(a, b), atol=1e-9)
+
+    @given(st.integers(1, 12), st.integers(0, 300))
+    @settings(max_examples=40, deadline=None)
+    def test_convolution_matches_fft(self, d, seed):
+        rng = np.random.default_rng(seed)
+        a, b = rng.standard_normal(d), rng.standard_normal(d)
+        result = simulate_column(a, b, height=max(d, 2), mode="convolution")
+        assert np.allclose(result.values, ops.circular_convolution(a, b), atol=1e-9)
+
+    def test_paper_worked_example(self):
+        """Fig. 3(b): first output is the aligned dot product."""
+        a = np.array([1.0, 2.0, 3.0])
+        b = np.array([5.0, 7.0, 11.0])
+        result = simulate_column(a, b, height=4, mode="correlation")
+        assert result.values[0] == pytest.approx(1 * 5 + 2 * 7 + 3 * 11)
+
+    def test_taller_column_than_vector(self):
+        rng = np.random.default_rng(1)
+        a, b = rng.standard_normal(5), rng.standard_normal(5)
+        result = simulate_column(a, b, height=16, mode="correlation")
+        assert np.allclose(result.values, ops.circular_correlation(a, b), atol=1e-9)
+
+    def test_short_stationary_chunk(self):
+        """Folded operation: stationary chunk shorter than the stream."""
+        rng = np.random.default_rng(2)
+        a_full, b = rng.standard_normal(8), rng.standard_normal(8)
+        chunk = a_full[:3]
+        result = simulate_column(chunk, b, height=4, mode="correlation")
+        expected = np.array([
+            sum(chunk[k] * b[(k + w) % 8] for k in range(3)) for w in range(8)
+        ])
+        assert np.allclose(result.values, expected, atol=1e-9)
+
+
+class TestLatencyContract:
+    @given(st.integers(1, 10), st.integers(2, 24))
+    @settings(max_examples=40, deadline=None)
+    def test_latency_is_3h_plus_d_minus_1(self, d, h):
+        if d > h:
+            return
+        rng = np.random.default_rng(0)
+        a, b = rng.standard_normal(d), rng.standard_normal(d)
+        result = simulate_column(a, b, height=h)
+        assert result.latency_cycles == 3 * h + d - 1
+        assert result.wall_cycles == result.latency_cycles + WARMUP_CYCLES
+
+    def test_mac_count_is_h_times_d(self):
+        rng = np.random.default_rng(3)
+        a, b = rng.standard_normal(4), rng.standard_normal(4)
+        result = simulate_column(a, b, height=6)
+        assert result.mac_count == 6 * 4
+
+
+class TestValidation:
+    def test_rejects_oversized_stationary(self):
+        with pytest.raises(ShapeError):
+            simulate_column(np.ones(8), np.ones(8), height=4)
+
+    def test_rejects_stationary_longer_than_stream(self):
+        with pytest.raises(ShapeError):
+            simulate_column(np.ones(6), np.ones(4), height=8)
+
+    def test_rejects_empty(self):
+        with pytest.raises(ShapeError):
+            simulate_column(np.array([]), np.array([]), height=4)
+
+    def test_rejects_unknown_mode(self):
+        with pytest.raises(SimulationError):
+            simulate_column(np.ones(2), np.ones(2), height=4, mode="fourier")
+
+    def test_convolution_needs_equal_lengths(self):
+        with pytest.raises(ShapeError):
+            simulate_column(np.ones(2), np.ones(4), height=4, mode="convolution")

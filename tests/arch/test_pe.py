@@ -1,0 +1,47 @@
+"""Unit tests for the processing element's register semantics."""
+
+from repro.arch.pe import PSUM_STAGES, ProcessingElement
+
+
+class TestProcessingElement:
+    def test_streamed_operand_dwells_two_cycles(self):
+        """passing → streaming → handed to the next PE: 2 cycles per PE."""
+        pe = ProcessingElement()
+        pe.step(5.0, 0.0, False)          # value enters passing
+        assert pe.passing == 5.0
+        assert pe.streaming == 0.0
+        pe.step(0.0, 0.0, False)          # moves to streaming
+        assert pe.streaming == 5.0
+        stream_out, _, _ = pe.outputs()   # now visible downstream
+        assert stream_out == 5.0
+
+    def test_mac_uses_streaming_register(self):
+        pe = ProcessingElement()
+        pe.load_stationary(3.0)
+        pe.step(7.0, 0.0, True)           # 7 in passing; MAC sees streaming=0
+        assert pe.psum[0] == 0.0
+        pe.step(0.0, 0.0, True)           # 7 in streaming now
+        pe.step(0.0, 0.0, True)           # MAC: 3*7 enters stage 0
+        assert pe.psum[0] == 21.0
+
+    def test_psum_pipeline_depth(self):
+        pe = ProcessingElement()
+        pe.load_stationary(1.0)
+        pe.step(2.0, 0.0, False)          # 2 enters passing; streaming = 0
+        pe.step(0.0, 10.0, True)          # wavefront enters with psum_in=10
+        # streaming is still 0 at the MAC edge: psum[0] = 10 + 1*0.
+        assert pe.psum[0] == 10.0
+        for _ in range(PSUM_STAGES - 1):
+            assert pe.outputs()[2] is False
+            pe.step(0.0, 0.0, False)
+        # After PSUM_STAGES shifts the wavefront is presented downstream.
+        _, psum_out, valid = pe.outputs()
+        assert valid
+        assert psum_out == 10.0
+
+    def test_invalid_psum_in_clears_entry(self):
+        pe = ProcessingElement()
+        pe.load_stationary(2.0)
+        pe.step(3.0, 99.0, False)
+        assert pe.psum[0] == 0.0
+        assert pe.psum_valid[0] is False

@@ -1,0 +1,83 @@
+"""Unit tests for the resource estimator and RTL parameter generation."""
+
+import pytest
+
+from repro.arch.resources import U250, ZCU104, check_fit, estimate_resources
+from repro.arch.rtlgen import generate_rtl_parameters
+from repro.dse import DesignConfig, ExecutionMode
+from repro.errors import ResourceError
+from repro.model.memory import MemoryPlan
+from repro.quant import MIXED_PRECISION_PRESETS
+from repro.utils import MB
+
+
+def _paper_scale_config(precision="MP", simd=64):
+    """8192 PEs, Table III-like memory plan."""
+    return DesignConfig(
+        workload="nvsa", h=32, w=16, n_sub=16,
+        nl=(14,), nv=(2,), nl_bar=14, nv_bar=2,
+        mode=ExecutionMode.PARALLEL, simd_width=simd,
+        memory=MemoryPlan(
+            mem_a1_bytes=int(2.7 * MB), mem_a2_bytes=int(1.1 * MB),
+            mem_b_bytes=int(2.7 * MB), mem_c_bytes=int(1.6 * MB),
+            cache_bytes=int(16.2 * MB),
+        ),
+        precision=MIXED_PRECISION_PRESETS[precision],
+        estimated_cycles=1,
+    )
+
+
+class TestCalibration:
+    def test_u250_utilization_matches_table3_bands(self):
+        """8192 PEs at INT8/INT4 on U250: the paper reports 89% DSP,
+        56% LUT, 60% FF, 24% LUTRAM, 34% BRAM."""
+        est = estimate_resources(_paper_scale_config(), U250)
+        assert 84 <= est.dsp_pct <= 94
+        assert 50 <= est.lut_pct <= 62
+        assert 54 <= est.ff_pct <= 66
+        assert 19 <= est.lutram_pct <= 29
+        assert 28 <= est.bram_pct <= 40
+
+    def test_int8_only_uses_fewer_luts(self):
+        mp = estimate_resources(_paper_scale_config("MP"), U250)
+        int8 = estimate_resources(_paper_scale_config("INT8"), U250)
+        assert int8.lut_pct < mp.lut_pct
+        assert int8.ff_pct < mp.ff_pct
+
+    def test_clock_capped_by_device(self):
+        est = estimate_resources(_paper_scale_config(), U250)
+        assert est.clock_mhz == 272.0
+
+    def test_fits_on_u250(self):
+        assert estimate_resources(_paper_scale_config(), U250).fits()
+
+    def test_overflows_zcu104(self):
+        """A U250-scale design cannot fit the edge-class ZCU104."""
+        with pytest.raises(ResourceError):
+            check_fit(_paper_scale_config(), ZCU104)
+
+    def test_max_pes_from_dsp_budget(self):
+        assert U250.max_pes() == 8192
+        assert ZCU104.max_pes() <= 1024
+
+
+class TestRtlGeneration:
+    def test_header_contains_all_parameters(self):
+        header = generate_rtl_parameters(_paper_scale_config())
+        for token in (
+            "`define NSFLOW_SUBARRAY_H      32",
+            "`define NSFLOW_SUBARRAY_W      16",
+            "`define NSFLOW_NUM_SUBARRAYS   16",
+            "`define NSFLOW_TOTAL_PES       8192",
+            "`define NSFLOW_MODE_PARALLEL   1",
+            "`define NSFLOW_NN_WIDTH_BITS   8",
+            "`define NSFLOW_SYMB_WIDTH_BITS 4",
+            "`define NSFLOW_SIMD_LANES      64",
+            "`define NSFLOW_CLOCK_MHZ       272",
+        ):
+            assert token in header, token
+
+    def test_bram_counts_present(self):
+        header = generate_rtl_parameters(_paper_scale_config())
+        assert "NSFLOW_MEMA1_BRAM18" in header
+        assert "NSFLOW_CACHE_URAM" in header

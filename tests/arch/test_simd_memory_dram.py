@@ -1,0 +1,177 @@
+"""Unit tests for the SIMD unit, memory system and DRAM model."""
+
+import numpy as np
+import pytest
+
+from repro.arch import DoubleBufferedMemory, DramModel, OnChipMemorySystem, SimdUnit
+from repro.errors import ConfigError, ResourceError, SimulationError
+from repro.model.memory import MemoryPlan
+
+
+class TestSimdUnit:
+    @pytest.fixture(scope="class")
+    def simd(self):
+        return SimdUnit(64)
+
+    def test_sum_reduction(self, simd):
+        r = simd.execute("sum", np.arange(10.0))
+        assert r.values == pytest.approx(45.0)
+
+    def test_sum_multiple_operands(self, simd):
+        r = simd.execute("sum", np.ones(4), 2 * np.ones(4))
+        assert np.allclose(r.values, 3.0)
+
+    def test_softmax(self, simd):
+        r = simd.execute("softmax", np.array([1.0, 2.0, 3.0]))
+        assert r.values.sum() == pytest.approx(1.0)
+
+    def test_match_prob_bounds(self, simd):
+        a = np.random.default_rng(0).standard_normal((2, 16))
+        r = simd.execute("match_prob", a, a)
+        assert np.allclose(r.values, 1.0)
+
+    def test_exp_log_tanh_norm(self, simd):
+        x = np.array([0.5, 1.0])
+        assert np.allclose(simd.execute("exp", x).values, np.exp(x))
+        assert np.allclose(simd.execute("log", x).values, np.log(x))
+        assert np.allclose(simd.execute("tanh", x).values, np.tanh(x))
+        assert simd.execute("norm", x).values == pytest.approx(np.linalg.norm(x))
+
+    def test_matvec_and_dot(self, simd):
+        m = np.arange(6.0).reshape(2, 3)
+        v = np.ones(3)
+        assert np.allclose(simd.execute("matvec", m, v).values, m @ v)
+        assert simd.execute("dot", v, v).values == pytest.approx(3.0)
+
+    def test_clamp_defaults(self, simd):
+        r = simd.execute("clamp", np.array([-1.0, 0.5, 2.0]))
+        assert np.allclose(r.values, [0.0, 0.5, 1.0])
+
+    def test_cycles_scale_with_size(self, simd):
+        small = simd.execute("relu", np.ones(64)).cycles
+        large = simd.execute("relu", np.ones(64_000)).cycles
+        assert large > small
+
+    def test_wider_unit_is_faster(self):
+        x = np.ones(10_000)
+        assert SimdUnit(256).execute("exp", x).cycles < SimdUnit(16).execute("exp", x).cycles
+
+    def test_unsupported_op(self, simd):
+        with pytest.raises(SimulationError):
+            simd.execute("fft", np.ones(4))
+
+    def test_missing_operand(self, simd):
+        with pytest.raises(SimulationError):
+            simd.execute("dot", np.ones(4))
+
+    def test_invalid_width(self):
+        with pytest.raises(ConfigError):
+            SimdUnit(0)
+
+
+class TestDoubleBufferedMemory:
+    def test_allocate_and_peak(self):
+        m = DoubleBufferedMemory("m", 100)
+        m.allocate(60)
+        m.allocate(30, shadow=True)
+        assert m.active_used == 60
+        assert m.peak_used == 60
+
+    def test_overflow_raises(self):
+        """Failure injection: capacity checks are real."""
+        m = DoubleBufferedMemory("m", 100)
+        m.allocate(80)
+        with pytest.raises(ResourceError):
+            m.allocate(40)
+
+    def test_shadow_overflow_raises(self):
+        m = DoubleBufferedMemory("m", 100)
+        with pytest.raises(ResourceError):
+            m.allocate(120, shadow=True)
+
+    def test_swap_flips_roles(self):
+        m = DoubleBufferedMemory("m", 100)
+        m.allocate(70, shadow=True)
+        m.swap()
+        assert m.active_used == 70
+        assert m.swaps == 1
+
+    def test_free_validates(self):
+        m = DoubleBufferedMemory("m", 100)
+        m.allocate(10)
+        with pytest.raises(SimulationError):
+            m.free(20)
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ResourceError):
+            DoubleBufferedMemory("m", 0)
+
+
+class TestOnChipMemorySystem:
+    @pytest.fixture
+    def system(self):
+        plan = MemoryPlan(
+            mem_a1_bytes=1000, mem_a2_bytes=500, mem_b_bytes=800,
+            mem_c_bytes=600, cache_bytes=5800,
+        )
+        return OnChipMemorySystem(plan)
+
+    def test_merge_grows_capacity(self, system):
+        system.merge_a()
+        assert system.merged
+        assert system.mem_a1.capacity_bytes == 1500
+
+    def test_merge_blocked_while_a2_live(self, system):
+        system.mem_a2.allocate(100)
+        with pytest.raises(SimulationError):
+            system.merge_a()
+
+    def test_split_restores_partition(self, system):
+        system.merge_a()
+        system.split_a()
+        assert not system.merged
+        assert system.mem_a1.capacity_bytes == 1000
+
+    def test_split_blocked_when_overfull(self, system):
+        system.merge_a()
+        system.mem_a1.allocate(1400)
+        with pytest.raises(SimulationError):
+            system.split_a()
+
+    def test_block_routing(self, system):
+        assert system.block_for("filter") is system.mem_a1
+        assert system.block_for("vector") is system.mem_a2
+        assert system.block_for("ifmap") is system.mem_b
+        assert system.block_for("output") is system.mem_c
+        system.merge_a()
+        assert system.block_for("vector") is system.mem_a1
+
+    def test_unknown_class(self, system):
+        with pytest.raises(SimulationError):
+            system.block_for("weights2")
+
+    def test_report(self, system):
+        rep = system.report()
+        assert set(rep) == {"MemA1", "MemA2", "MemB", "MemC", "Cache"}
+
+
+class TestDramModel:
+    def test_zero_transfer_free(self):
+        assert DramModel().transfer_cycles(0) == 0
+
+    def test_latency_plus_bandwidth(self):
+        dram = DramModel(bandwidth_gb_s=27.2, clock_mhz=272.0, burst_latency_cycles=10)
+        # 100 bytes/cycle: 1000 bytes -> 10 cycles + latency.
+        assert dram.transfer_cycles(1000) == 10 + 10
+
+    def test_monotone(self):
+        dram = DramModel()
+        assert dram.transfer_cycles(10_000) < dram.transfer_cycles(1_000_000)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ConfigError):
+            DramModel().transfer_cycles(-1)
+
+    def test_invalid_spec(self):
+        with pytest.raises(ConfigError):
+            DramModel(bandwidth_gb_s=0)

@@ -1,0 +1,140 @@
+"""Unit tests for baseline device models."""
+
+import pytest
+
+from repro.baselines import (
+    DpuLikeEngine,
+    JETSON_TX2,
+    RooflineDevice,
+    RTX_2080TI,
+    TpuLikeArray,
+    XEON_CPU,
+    baseline_devices,
+    fig5_devices,
+)
+from repro.baselines.device import DeviceSpec, kernel_launches
+from repro.errors import ConfigError
+from repro.nn.gemm import GemmDims
+from repro.trace import ExecutionUnit, OpDomain, Tracer
+
+
+def _mini_trace():
+    t = Tracer("mini")
+    conv = t.record(
+        "conv2d", OpDomain.NEURAL, ExecutionUnit.ARRAY_NN,
+        ("%input",), (1, 16, 16, 16), gemm=GemmDims(m=256, n=16, k=144),
+    )
+    bind = t.record_binding((conv.name,), n_vectors=8, dim=256)
+    t.record_simd("match_prob", (bind.name,), (8,))
+    t.record_host("argmax", ("%match_prob_1",))
+    return t.finish()
+
+
+class TestDeviceSpec:
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            DeviceSpec("x", 0, 10, 1, 0.5, 0.5, 0.5)
+        with pytest.raises(ConfigError):
+            DeviceSpec("x", 10, 10, 1, 1.5, 0.5, 0.5)
+
+
+class TestKernelFragmentation:
+    def test_neural_ops_launch_once(self):
+        trace = _mini_trace()
+        assert kernel_launches(trace["%conv2d_1"]) == 1
+
+    def test_vsa_ops_launch_per_vector(self):
+        trace = _mini_trace()
+        assert kernel_launches(trace["%binding_circular_1"]) == 8
+
+    def test_host_ops_free(self):
+        trace = _mini_trace()
+        assert kernel_launches(trace["%argmax_1"]) == 0
+
+
+class TestRooflineDevice:
+    def test_run_trace_totals(self):
+        dev = RooflineDevice(RTX_2080TI)
+        result = dev.run_trace(_mini_trace())
+        assert result.total_s == pytest.approx(result.neural_s + result.symbolic_s)
+        assert 0.0 <= result.symbolic_fraction <= 1.0
+        assert result.n_kernel_launches == 1 + 8 + 1
+
+    def test_memory_bound_op_charged_by_bytes(self):
+        spec = DeviceSpec(
+            name="toy", peak_gflops=1e6, mem_bandwidth_gb_s=1.0,
+            launch_overhead_us=0.0, nn_efficiency=1.0,
+            symbolic_efficiency=1.0, symbolic_mem_efficiency=1.0,
+        )
+        dev = RooflineDevice(spec)
+        trace = _mini_trace()
+        op = trace["%binding_circular_1"]
+        expected = op.total_bytes / 1e9
+        assert dev.op_latency_s(op) == pytest.approx(expected)
+
+    def test_slower_device_is_slower(self):
+        trace = _mini_trace()
+        fast = RooflineDevice(RTX_2080TI).run_trace(trace).total_s
+        slow = RooflineDevice(JETSON_TX2).run_trace(trace).total_s
+        assert slow > fast
+
+
+class TestTpuLikeArray:
+    def test_circulant_lowering_penalty(self):
+        """The d× circulant blow-up makes VSA ops far more expensive than
+        the same op's AdArray streaming cost."""
+        from repro.model.runtime import vsa_node_runtime
+        from repro.trace.opnode import VsaDims
+
+        tpu = TpuLikeArray(h=128, w=128)
+        trace = _mini_trace()
+        op = trace["%binding_circular_1"]
+        tpu_cycles = tpu.op_cycles(op)
+        adarray_cycles = vsa_node_runtime(16, 64, 8, VsaDims(8, 256), "best")
+        assert tpu_cycles > 3 * adarray_cycles
+
+    def test_run_trace(self):
+        result = TpuLikeArray().run_trace(_mini_trace())
+        assert result.total_s > 0
+        assert result.symbolic_s > 0
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            TpuLikeArray(h=0)
+
+
+class TestDpuLikeEngine:
+    def test_symbolic_falls_back_to_host(self):
+        """DPU symbolic time equals the host CPU's time for those ops."""
+        dpu = DpuLikeEngine()
+        host = RooflineDevice(dpu.host)
+        trace = _mini_trace()
+        dpu_result = dpu.run_trace(trace)
+        host_symbolic = sum(
+            host.op_latency_s(op) for op in trace.symbolic_ops
+        )
+        assert dpu_result.symbolic_s == pytest.approx(host_symbolic)
+
+    def test_nn_faster_than_host(self):
+        dpu = DpuLikeEngine()
+        host = RooflineDevice(dpu.host)
+        trace = _mini_trace()
+        host_neural = sum(host.op_latency_s(op) for op in trace.neural_ops)
+        assert dpu.run_trace(trace).neural_s < host_neural
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            DpuLikeEngine(peak_gops=0)
+
+
+class TestZoo:
+    def test_baseline_devices_named(self):
+        devs = baseline_devices()
+        assert "RTX 2080" in devs
+        assert "Jetson TX2" in devs
+
+    def test_fig5_order(self):
+        names = [d.name for d in fig5_devices()]
+        assert names[0] == "Jetson TX2"
+        assert names[-1] == "Xilinx DPU"
+        assert len(names) == 6

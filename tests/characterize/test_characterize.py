@@ -1,0 +1,92 @@
+"""Unit tests for workload characterization (Fig. 1 reproductions)."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import RTX_2080TI, RooflineDevice, baseline_devices
+from repro.characterize import (
+    characterize_workload,
+    roofline_curve,
+    roofline_points,
+)
+from repro.errors import ConfigError
+from repro.workloads import build_workload
+
+
+@pytest.fixture(scope="module")
+def nvsa_small():
+    return build_workload(
+        "nvsa", batch_panels=4, image_size=32, resnet_width=8,
+        blocks=2, block_dim=128, dictionary_atoms=32,
+    )
+
+
+class TestProfiler:
+    def test_characterization_fields(self, nvsa_small):
+        ch = characterize_workload(nvsa_small, baseline_devices())
+        assert ch.workload == "nvsa"
+        assert 0 < ch.symbolic_flop_fraction < 1
+        for device in baseline_devices():
+            assert ch.latency_s(device) > 0
+            assert 0 <= ch.symbolic_runtime_fraction(device) <= 1
+
+    def test_symbolic_runtime_exceeds_flop_share_on_gpu(self, nvsa_small):
+        """Fig. 1's core observation: symbolic dominates runtime far beyond
+        its FLOP share on GPU-class devices."""
+        ch = characterize_workload(nvsa_small, baseline_devices())
+        assert (
+            ch.symbolic_runtime_fraction("RTX 2080")
+            > ch.symbolic_flop_fraction
+        )
+
+    def test_unknown_device_rejected(self, nvsa_small):
+        ch = characterize_workload(nvsa_small, baseline_devices())
+        with pytest.raises(ConfigError):
+            ch.latency_s("TPUv5")
+
+    def test_empty_device_set_rejected(self, nvsa_small):
+        with pytest.raises(ConfigError):
+            characterize_workload(nvsa_small, {})
+
+
+class TestRoofline:
+    def test_curve_is_min_of_roofs(self):
+        xs, ys = roofline_curve(RTX_2080TI)
+        assert np.all(ys <= RTX_2080TI.peak_gflops + 1e-9)
+        # Left end is bandwidth-limited, right end compute-limited.
+        assert ys[0] == pytest.approx(xs[0] * RTX_2080TI.mem_bandwidth_gb_s)
+        assert ys[-1] == pytest.approx(RTX_2080TI.peak_gflops)
+
+    def test_curve_rejects_nonpositive_intensity(self):
+        with pytest.raises(ConfigError):
+            roofline_curve(RTX_2080TI, np.array([0.0, 1.0]))
+
+    def test_points_split_by_domain(self, nvsa_small):
+        trace = nvsa_small.build_trace()
+        points = roofline_points(trace, RooflineDevice(RTX_2080TI))
+        domains = {p.domain for p in points}
+        assert domains == {"neural", "symbolic"}
+
+    def test_symbolic_memory_bound_neural_compute_bound(self):
+        """Fig. 1c at deployment scale: the symbolic aggregate sits left
+        of the ridge (memory-bound), the neural aggregate right of it."""
+        trace = build_workload("nvsa").build_trace()
+        points = {
+            p.domain: p
+            for p in roofline_points(trace, RooflineDevice(RTX_2080TI))
+        }
+        assert points["symbolic"].memory_bound
+        assert not points["neural"].memory_bound
+        assert (
+            points["symbolic"].arithmetic_intensity
+            < points["neural"].arithmetic_intensity
+        )
+
+    def test_achieved_below_roofline(self, nvsa_small):
+        trace = nvsa_small.build_trace()
+        spec = RTX_2080TI
+        for p in roofline_points(trace, RooflineDevice(spec)):
+            attainable = min(
+                spec.peak_gflops, p.arithmetic_intensity * spec.mem_bandwidth_gb_s
+            )
+            assert p.achieved_gflops <= attainable * 1.01

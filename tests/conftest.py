@@ -1,0 +1,54 @@
+"""Shared fixtures: small, fast workload configurations for testing.
+
+Full paper-scale traces take seconds to schedule; tests use scaled-down
+configs that preserve every structural property (layer chains, VSA node
+fan-out, rule vocabulary) at a fraction of the size.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datasets import generate_dataset, make_spec
+from repro.graph import build_dataflow_graph
+from repro.workloads.nvsa import NvsaConfig, NvsaWorkload
+
+
+@pytest.fixture(scope="session")
+def rng():
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture(scope="session")
+def small_nvsa_config():
+    """An NVSA config small enough for per-test solving and tracing."""
+    return NvsaConfig(
+        batch_panels=4,
+        image_size=32,
+        resnet_width=8,
+        blocks=2,
+        block_dim=128,
+        dictionary_atoms=32,
+        seed=7,
+    )
+
+
+@pytest.fixture(scope="session")
+def small_nvsa(small_nvsa_config):
+    return NvsaWorkload(small_nvsa_config)
+
+
+@pytest.fixture(scope="session")
+def small_nvsa_trace(small_nvsa):
+    return small_nvsa.build_trace()
+
+
+@pytest.fixture(scope="session")
+def small_nvsa_graph(small_nvsa_trace):
+    return build_dataflow_graph(small_nvsa_trace)
+
+
+@pytest.fixture(scope="session")
+def raven_problems():
+    return generate_dataset(make_spec("raven"), 12, seed=3)

@@ -1,0 +1,56 @@
+"""Unit tests for the CVR/SVRT-like relational dataset."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import generate_relational_dataset
+from repro.errors import ConfigError
+
+
+class TestRelationalDataset:
+    def test_shapes_and_range(self):
+        items = generate_relational_dataset("cvr", 10, image_size=32, seed=0)
+        assert len(items) == 10
+        for item in items:
+            assert item.image.shape == (1, 32, 32)
+            assert 0.0 <= item.image.min() and item.image.max() <= 1.0
+            assert item.label in (0, 1)
+
+    def test_labels_roughly_balanced(self):
+        items = generate_relational_dataset("cvr", 200, seed=1)
+        ones = sum(i.label for i in items)
+        assert 60 < ones < 140
+
+    def test_same_size_items_have_equal_squares(self):
+        """Label 0 = same size: the two drawn squares have equal areas."""
+        items = generate_relational_dataset("cvr", 50, image_size=32, seed=2)
+        for item in items:
+            if item.label != 0:
+                continue
+            # Two disjoint filled squares of equal size -> white-pixel count
+            # is twice a perfect square.
+            count = int(item.image.sum())
+            side = round((count / 2) ** 0.5)
+            assert 2 * side * side == count
+
+    def test_svrt_has_clutter(self):
+        """SVRT items carry half-intensity clutter pixels; CVR items don't."""
+        clean = generate_relational_dataset("cvr", 20, seed=3)
+        noisy = generate_relational_dataset("svrt", 20, seed=3)
+        assert not any(np.any(np.isclose(i.image, 0.5)) for i in clean)
+        cluttered = sum(np.any(np.isclose(i.image, 0.5)) for i in noisy)
+        assert cluttered >= 15
+
+    def test_deterministic(self):
+        a = generate_relational_dataset("cvr", 5, seed=4)
+        b = generate_relational_dataset("cvr", 5, seed=4)
+        for ia, ib in zip(a, b):
+            assert np.array_equal(ia.image, ib.image)
+
+    def test_unknown_task_rejected(self):
+        with pytest.raises(ConfigError):
+            generate_relational_dataset("imagenet", 1)
+
+    def test_tiny_image_rejected(self):
+        with pytest.raises(ConfigError):
+            generate_relational_dataset("cvr", 1, image_size=8)

@@ -1,0 +1,136 @@
+"""Unit and property tests for the RPM-style problem generator.
+
+The central invariant: every generated grid actually satisfies its
+sampled rules, row by row — the solver's accuracy numbers are meaningless
+otherwise.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.datasets import RuleType, generate_dataset, generate_problem, make_spec
+from repro.errors import ConfigError
+
+
+def _check_rule_on_row(rule, a, b, c):
+    if rule.rule_type is RuleType.CONSTANT:
+        return a == b == c
+    if rule.rule_type is RuleType.PROGRESSION:
+        return b == a + rule.step and c == b + rule.step
+    if rule.rule_type is RuleType.ARITHMETIC:
+        return c == a + rule.sign * b
+    if rule.rule_type is RuleType.DISTRIBUTE_THREE:
+        return tuple(sorted((a, b, c))) == rule.value_set
+    raise AssertionError(f"unknown rule {rule}")
+
+
+class TestSpecs:
+    def test_presets_exist(self):
+        for name in ("raven", "iraven", "pgm"):
+            spec = make_spec(name)
+            assert spec.name == name
+
+    def test_unknown_preset(self):
+        with pytest.raises(ConfigError):
+            make_spec("mnist")
+
+    def test_pgm_is_harder(self):
+        raven, pgm = make_spec("raven"), make_spec("pgm")
+        assert pgm.perception_noise > raven.perception_noise
+        assert pgm.n_noise_attributes > 0
+        assert pgm.n_attributes > raven.n_attributes
+
+    def test_iraven_single_attribute_distractors(self):
+        assert make_spec("iraven").distractor_attributes == 1
+
+
+class TestGeneration:
+    @given(st.sampled_from(["raven", "iraven", "pgm"]), st.integers(0, 300))
+    @settings(max_examples=60, deadline=None)
+    def test_rules_hold_on_every_row(self, name, seed):
+        spec = make_spec(name)
+        problem = generate_problem(spec, rng=seed)
+        for attr, rule in zip(spec.attributes, problem.rules):
+            for r in range(3):
+                vals = [problem.grid[r][c].value(attr.name) for c in range(3)]
+                assert _check_rule_on_row(rule, *vals), (
+                    f"{name} seed={seed}: rule {rule} broken on row {r}: {vals}"
+                )
+
+    @given(st.integers(0, 300))
+    @settings(max_examples=30, deadline=None)
+    def test_values_in_range(self, seed):
+        spec = make_spec("raven")
+        problem = generate_problem(spec, rng=seed)
+        for attr in spec.attributes:
+            for row in problem.grid:
+                for panel in row:
+                    assert 0 <= panel.value(attr.name) < attr.n_values
+
+    @given(st.integers(0, 300))
+    @settings(max_examples=30, deadline=None)
+    def test_candidates_unique_and_contain_answer(self, seed):
+        spec = make_spec("iraven")
+        problem = generate_problem(spec, rng=seed)
+        keys = [tuple(sorted(c.values.items())) for c in problem.candidates]
+        assert len(set(keys)) == len(keys)
+        assert problem.candidates[problem.answer_index].values == problem.grid[2][2].values
+
+    def test_context_has_eight_panels(self):
+        problem = generate_problem(make_spec("raven"), rng=0)
+        assert len(problem.context) == 8
+
+    def test_candidate_count_matches_spec(self):
+        spec = make_spec("raven")
+        problem = generate_problem(spec, rng=1)
+        assert len(problem.candidates) == spec.n_candidates
+
+    def test_noise_attributes_present_for_pgm(self):
+        problem = generate_problem(make_spec("pgm"), rng=2)
+        names = {a.name for a in problem.all_attributes}
+        assert "noise_0" in names and "noise_1" in names
+        for row in problem.grid:
+            for panel in row:
+                assert "noise_0" in panel.values
+
+    def test_iraven_distractors_differ_in_one_attribute(self):
+        spec = make_spec("iraven")
+        problem = generate_problem(spec, rng=3)
+        answer = problem.answer
+        rule_attrs = [a.name for a in spec.attributes]
+        for i, cand in enumerate(problem.candidates):
+            if i == problem.answer_index:
+                continue
+            diffs = sum(
+                cand.values[a] != answer.values[a] for a in rule_attrs
+            )
+            assert diffs == 1
+
+
+class TestDataset:
+    def test_deterministic(self):
+        spec = make_spec("raven")
+        a = generate_dataset(spec, 5, seed=9)
+        b = generate_dataset(spec, 5, seed=9)
+        for pa, pb in zip(a, b):
+            assert pa.answer_index == pb.answer_index
+            assert pa.grid[0][0].values == pb.grid[0][0].values
+
+    def test_different_seeds_differ(self):
+        spec = make_spec("raven")
+        a = generate_dataset(spec, 5, seed=1)
+        b = generate_dataset(spec, 5, seed=2)
+        assert any(
+            pa.grid[0][0].values != pb.grid[0][0].values for pa, pb in zip(a, b)
+        )
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ConfigError):
+            generate_dataset(make_spec("raven"), -1)
+
+    def test_answer_index_spread(self):
+        """Answers land on varied positions (no positional bias)."""
+        problems = generate_dataset(make_spec("raven"), 60, seed=11)
+        positions = {p.answer_index for p in problems}
+        assert len(positions) >= 5

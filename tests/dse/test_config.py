@@ -1,0 +1,79 @@
+"""Unit tests for design configurations and their JSON round trip."""
+
+import pytest
+
+from repro.dse import (
+    DesignConfig,
+    ExecutionMode,
+    design_config_from_json,
+    design_config_to_json,
+)
+from repro.errors import ConfigError
+from repro.model.memory import MemoryPlan
+from repro.quant import MIXED_PRECISION_PRESETS
+
+
+def _plan():
+    return MemoryPlan(
+        mem_a1_bytes=4608, mem_a2_bytes=2304, mem_b_bytes=4608,
+        mem_c_bytes=2304, cache_bytes=36864,
+    )
+
+
+def _config(**kw):
+    defaults = dict(
+        workload="toy", h=8, w=16, n_sub=4, nl=(3, 3), nv=(1,),
+        nl_bar=3, nv_bar=1, mode=ExecutionMode.PARALLEL,
+        simd_width=64, memory=_plan(),
+        precision=MIXED_PRECISION_PRESETS["MP"],
+        estimated_cycles=1000,
+    )
+    defaults.update(kw)
+    return DesignConfig(**defaults)
+
+
+class TestDesignConfig:
+    def test_derived_properties(self):
+        c = _config()
+        assert c.total_pes == 8 * 16 * 4
+        assert c.geometry == (8, 16, 4)
+        assert c.default_partition == "3 : 1"
+        assert c.estimated_latency_s() == pytest.approx(1000 / (272e6))
+
+    def test_partition_bounds_validated_in_parallel_mode(self):
+        with pytest.raises(ConfigError):
+            _config(nl=(5, 3))
+        with pytest.raises(ConfigError):
+            _config(nv=(0,))
+
+    def test_sequential_mode_skips_partition_checks(self):
+        c = _config(mode=ExecutionMode.SEQUENTIAL, nl=(4, 4), nv=(4,))
+        assert c.mode is ExecutionMode.SEQUENTIAL
+
+    def test_geometry_validated(self):
+        with pytest.raises(ConfigError):
+            _config(h=0)
+
+    def test_simd_validated(self):
+        with pytest.raises(ConfigError):
+            _config(simd_width=0)
+
+    def test_clock_validated(self):
+        with pytest.raises(ConfigError):
+            _config(clock_mhz=0)
+
+
+class TestJsonRoundTrip:
+    def test_lossless(self):
+        c = _config(extras={"phase2_gain": 0.12})
+        restored = design_config_from_json(design_config_to_json(c))
+        assert restored == c
+
+    def test_rejects_garbage(self):
+        with pytest.raises(ConfigError):
+            design_config_from_json("{}")
+
+    def test_rejects_bad_precision(self):
+        text = design_config_to_json(_config()).replace('"int8"', '"int9"')
+        with pytest.raises(ConfigError):
+            design_config_from_json(text)

@@ -1,0 +1,62 @@
+"""Unit tests for the CLI driver."""
+
+import json
+
+import pytest
+
+from repro.flow.cli import build_parser, main
+
+
+class TestParser:
+    def test_compile_defaults(self):
+        args = build_parser().parse_args(["compile", "mimonet"])
+        assert args.workload == "mimonet"
+        assert args.device == "u250"
+        assert args.precision == "MP"
+
+    def test_rejects_unknown_workload(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["compile", "gpt4"])
+
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+
+class TestCommands:
+    def test_workloads_lists_table1(self, capsys):
+        assert main(["workloads"]) == 0
+        out = capsys.readouterr().out
+        for name in ("nvsa", "mimonet", "lvrf", "prae"):
+            assert name in out
+
+    def test_compile_prints_summary(self, capsys):
+        assert main(["compile", "mimonet"]) == 0
+        out = capsys.readouterr().out
+        assert "AdArray (H, W, N)" in out
+        assert "Simulated latency" in out
+
+    def test_compile_writes_artifacts(self, tmp_path, capsys):
+        out_dir = tmp_path / "build"
+        assert main(["compile", "mimonet", "--out", str(out_dir)]) == 0
+        for artifact in (
+            "trace.json", "design_config.json", "nsflow_params.vh", "host.cpp"
+        ):
+            assert (out_dir / artifact).exists(), artifact
+        doc = json.loads((out_dir / "design_config.json").read_text())
+        assert doc["workload"] == "mimonet"
+        assert "`define NSFLOW_SUBARRAY_H" in (out_dir / "nsflow_params.vh").read_text()
+
+    def test_compile_precision_flag(self, tmp_path):
+        out_dir = tmp_path / "fp32"
+        assert main([
+            "compile", "mimonet", "--precision", "FP32", "--out", str(out_dir)
+        ]) == 0
+        doc = json.loads((out_dir / "design_config.json").read_text())
+        assert doc["precision"]["neural"] == "fp32"
+
+    def test_characterize(self, capsys):
+        assert main(["characterize", "mimonet"]) == 0
+        out = capsys.readouterr().out
+        assert "RTX 2080" in out
+        assert "Symbolic runtime" in out

@@ -1,0 +1,71 @@
+"""Compile matrix: every workload × device × precision goes through the
+full toolchain and produces internally consistent artifacts."""
+
+import pytest
+
+from repro import NSFlow, build_workload
+from repro.arch.resources import U250, ZCU104
+from repro.dse import design_config_from_json, design_config_to_json
+from repro.quant import MIXED_PRECISION_PRESETS
+from repro.trace import ExecutionUnit
+
+SMALL = {
+    "nvsa": dict(batch_panels=2, image_size=32, resnet_width=8,
+                 blocks=2, block_dim=64, dictionary_atoms=8),
+    "mimonet": dict(image_size=32, cnn_width=8, cnn_depth=2),
+    "lvrf": dict(batch_panels=2, image_size=32, resnet_width=8,
+                 blocks=2, block_dim=64, dictionary_atoms=8),
+    "prae": dict(batch_panels=2, image_size=32, cnn_width=8, cnn_depth=2),
+}
+
+
+@pytest.mark.parametrize("workload", sorted(SMALL))
+@pytest.mark.parametrize("device", [U250, ZCU104], ids=lambda d: d.name)
+def test_compile_every_workload_on_every_device(workload, device):
+    wl = build_workload(workload, **SMALL[workload])
+    design = NSFlow(device=device, max_pes=min(device.max_pes(), 1024)).compile(wl)
+
+    # Config/schedule/resources are mutually consistent.
+    assert design.config.workload == workload
+    assert design.schedule.total_cycles >= design.config.estimated_cycles
+    assert design.resources.fits()
+    assert design.latency_ms > 0
+
+    # Generated artifacts reference the chosen geometry.
+    assert f"`define NSFLOW_SUBARRAY_H      {design.config.h}" in design.rtl_header
+    assert f"AdArray {design.config.h}x{design.config.w}x{design.config.n_sub}" in design.host_code
+
+    # The config survives its JSON hand-off.
+    restored = design_config_from_json(design_config_to_json(design.config))
+    assert restored == design.config
+
+
+@pytest.mark.parametrize("precision", ["FP32", "INT8", "MP"])
+def test_compile_every_precision(precision):
+    wl = build_workload("mimonet", **SMALL["mimonet"])
+    design = NSFlow(
+        max_pes=1024, precision=MIXED_PRECISION_PRESETS[precision]
+    ).compile(wl)
+    assert design.config.precision == MIXED_PRECISION_PRESETS[precision]
+    assert design.resources.fits()
+
+
+def test_host_code_partition_arguments_match_config():
+    """Every array kernel invocation carries a legal sub-array allocation."""
+    wl = build_workload("nvsa", **SMALL["nvsa"])
+    design = NSFlow(max_pes=1024).compile(wl)
+    n_sub = design.config.n_sub
+    for line in design.host_code.splitlines():
+        if "adarray_" in line and "/*alloc=*/" in line:
+            alloc = int(line.split("/*alloc=*/")[1].split(",")[0])
+            assert 1 <= alloc <= n_sub
+
+
+def test_every_trace_unit_reaches_host_code():
+    wl = build_workload("nvsa", **SMALL["nvsa"])
+    design = NSFlow(max_pes=1024).compile(wl)
+    units_in_trace = {op.unit for op in design.trace}
+    if ExecutionUnit.ARRAY_VSA in units_in_trace:
+        assert "adarray_vsa" in design.host_code
+    if ExecutionUnit.SIMD in units_in_trace:
+        assert "simd_vector" in design.host_code

@@ -1,0 +1,98 @@
+"""Integration tests for the end-to-end NSFlow framework."""
+
+import pytest
+
+from repro import NSFlow, build_workload
+from repro.arch.resources import ZCU104
+from repro.errors import NSFlowError
+from repro.quant import MIXED_PRECISION_PRESETS
+
+
+@pytest.fixture(scope="module")
+def nsf():
+    return NSFlow(max_pes=1024)
+
+
+@pytest.fixture(scope="module")
+def small_mimo():
+    return build_workload("mimonet", image_size=32, cnn_width=8, cnn_depth=2)
+
+
+@pytest.fixture(scope="module")
+def design(nsf, small_mimo):
+    return nsf.compile(small_mimo)
+
+
+class TestCompile:
+    def test_produces_all_artifacts(self, design):
+        assert design.workload == "mimonet"
+        assert design.latency_ms > 0
+        assert design.config.total_pes <= 1024
+        assert design.resources.fits()
+        assert "`define NSFLOW_SUBARRAY_H" in design.rtl_header
+        assert "xrt::device" in design.host_code
+
+    def test_schedule_consistent_with_config(self, design):
+        assert design.schedule.total_cycles >= design.config.estimated_cycles
+
+    def test_host_code_mentions_every_kernel(self, design):
+        for kernel in ("adarray_gemm", "adarray_vsa", "simd_vector"):
+            assert kernel in design.host_code
+
+    def test_compile_with_loop_fusion(self, nsf, small_mimo):
+        fused = nsf.compile(small_mimo, n_loops=2)
+        single = nsf.compile(small_mimo, n_loops=1)
+        assert len(fused.graph) == 2 * len(single.graph)
+        # Two fused loops finish faster than two back-to-back singles.
+        assert fused.schedule.total_cycles < 2 * single.schedule.total_cycles
+
+    def test_latency_shortcut(self, nsf, small_mimo):
+        assert nsf.latency_s(small_mimo) > 0
+
+    def test_precision_affects_memory(self, small_mimo):
+        mp = NSFlow(max_pes=1024, precision=MIXED_PRECISION_PRESETS["MP"])
+        fp = NSFlow(max_pes=1024, precision=MIXED_PRECISION_PRESETS["FP32"])
+        m = mp.compile(small_mimo).config.memory.total_sram_bytes
+        f = fp.compile(small_mimo).config.memory.total_sram_bytes
+        assert m < f
+
+    def test_edge_device_budget(self, small_mimo):
+        nsf = NSFlow(device=ZCU104)
+        design = nsf.compile(small_mimo)
+        assert design.config.total_pes <= ZCU104.max_pes()
+
+    def test_rejects_degenerate_budget(self):
+        with pytest.raises(NSFlowError):
+            NSFlow(max_pes=2)
+
+
+class TestReport:
+    def test_format_table(self):
+        from repro.flow import format_table
+
+        text = format_table(["a", "b"], [[1, 2], [30, 40]], title="T")
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "a" in lines[1] and "b" in lines[1]
+        assert len(lines) == 5
+
+    def test_format_table_width_mismatch(self):
+        from repro.errors import ConfigError
+        from repro.flow import format_table
+
+        with pytest.raises(ConfigError):
+            format_table(["a"], [[1, 2]])
+
+    def test_speedup_table_normalization(self):
+        from repro.flow import speedup_table
+
+        rows = speedup_table({"dev": 2.0}, 1.0)
+        assert rows[0] == ("dev", 2.0)
+        assert rows[-1] == ("NSFlow", 1.0)
+
+    def test_speedup_table_rejects_bad_reference(self):
+        from repro.errors import ConfigError
+        from repro.flow import speedup_table
+
+        with pytest.raises(ConfigError):
+            speedup_table({}, 0.0)

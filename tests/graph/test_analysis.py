@@ -1,0 +1,38 @@
+"""Unit tests for dataflow-graph statistics (Fig. 4 steps ④-⑤)."""
+
+import pytest
+
+from repro.graph import graph_stats
+from repro.trace.opnode import OpDomain
+
+
+class TestGraphStats:
+    def test_counts_consistent(self, small_nvsa_graph):
+        st = graph_stats(small_nvsa_graph)
+        assert st.n_nodes == len(small_nvsa_graph)
+        assert st.n_layer_nodes == len(small_nvsa_graph.layer_nodes)
+        assert st.n_vsa_nodes == len(small_nvsa_graph.vsa_nodes)
+        assert st.n_simd_nodes == len(small_nvsa_graph.simd_nodes)
+        assert st.critical_path_len == len(small_nvsa_graph.critical_path)
+
+    def test_memory_rules_inputs(self, small_nvsa_graph):
+        """The stats expose exactly the max-footprints the sizing rules use."""
+        st = graph_stats(small_nvsa_graph)
+        layers = small_nvsa_graph.layer_nodes
+        assert st.max_filter_bytes == max(
+            n.gemm.weight_elements * 4 for n in layers if n.gemm
+        )
+        vsa = small_nvsa_graph.vsa_nodes
+        assert st.max_vsa_node_bytes == max(n.vsa.n * n.vsa.d * 4 for n in vsa if n.vsa)
+        assert st.max_ifmap_bytes > 0
+        assert st.max_output_bytes > 0
+
+    def test_flop_split_matches_trace(self, small_nvsa_graph, small_nvsa_trace):
+        st = graph_stats(small_nvsa_graph)
+        assert st.neural_flops == small_nvsa_trace.total_flops(OpDomain.NEURAL)
+        assert st.symbolic_flops == small_nvsa_trace.total_flops(OpDomain.SYMBOLIC)
+
+    def test_attachment_stats(self, small_nvsa_graph):
+        st = graph_stats(small_nvsa_graph)
+        assert st.max_attached >= 1
+        assert 0 <= st.mean_attached <= st.max_attached

@@ -1,0 +1,66 @@
+"""Unit tests for the ablation/baseline cost helpers."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.model.runtime import (
+    circulant_gemm_runtime,
+    layer_runtime,
+    monolithic_baseline_runtime,
+    nn_total_runtime,
+    vsa_node_runtime,
+)
+from repro.nn.gemm import GemmDims
+from repro.trace.opnode import VsaDims
+
+
+class TestCirculantLowering:
+    def test_equals_expanded_gemm(self):
+        dims = VsaDims(n=16, d=256)
+        expected = layer_runtime(128, 64, 1, GemmDims(m=16, n=256, k=256))
+        assert circulant_gemm_runtime(128, 64, dims) == expected
+
+    @given(st.integers(1, 64), st.sampled_from([64, 256, 1024]))
+    @settings(max_examples=30)
+    def test_always_worse_than_streaming_at_scale(self, n, d):
+        """The d× blow-up: circulant lowering on 8192 PEs never beats the
+        AdArray streaming mode on 8192 PEs for NSAI-scale vectors."""
+        dims = VsaDims(n=n, d=d)
+        circulant = circulant_gemm_runtime(128, 64, dims)
+        streaming = vsa_node_runtime(16, 64, 8, dims, "best")
+        assert circulant > streaming
+
+    def test_quadratic_growth_in_d(self):
+        t1 = circulant_gemm_runtime(128, 64, VsaDims(n=8, d=512))
+        t2 = circulant_gemm_runtime(128, 64, VsaDims(n=8, d=2048))
+        assert t2 > 8 * t1
+
+
+class TestMonolithicBaseline:
+    layers = [GemmDims(m=1024, n=64, k=576), GemmDims(m=256, n=128, k=1152)]
+    vsa = [VsaDims(n=32, d=1024), VsaDims(n=32, d=1024)]
+
+    def test_is_sum_of_parts(self):
+        total = monolithic_baseline_runtime(128, 64, self.layers, self.vsa)
+        nn = nn_total_runtime(128, 64, [1, 1], self.layers)
+        sym = sum(circulant_gemm_runtime(128, 64, d) for d in self.vsa)
+        assert total == nn + sym
+
+    def test_pure_nn_has_no_symbolic_cost(self):
+        total = monolithic_baseline_runtime(128, 64, self.layers, [])
+        assert total == nn_total_runtime(128, 64, [1, 1], self.layers)
+
+    def test_grows_with_symbolic_nodes(self):
+        small = monolithic_baseline_runtime(128, 64, self.layers, self.vsa[:1])
+        large = monolithic_baseline_runtime(128, 64, self.layers, self.vsa * 4)
+        assert large > small
+
+
+class TestWorkloadProfile:
+    def test_profile_rollups(self, small_nvsa):
+        profile = small_nvsa.profile()
+        assert profile.workload == "nvsa"
+        assert profile.total_flops == profile.neural_flops + profile.symbolic_flops
+        assert 0 < profile.symbolic_flop_fraction < 1
+        assert 0 < profile.symbolic_byte_fraction < 1
+        assert profile.n_ops > 0

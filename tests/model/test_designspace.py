@@ -1,0 +1,58 @@
+"""Unit tests for design-space accounting (paper Table II)."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.model.designspace import design_space_size, hw_config_candidates
+
+
+class TestHwConfigCandidates:
+    def test_all_within_budget(self):
+        for h, w in hw_config_candidates(10, prune=False):
+            assert h * w <= 1024
+
+    def test_pruning_enforces_aspect_ratio(self):
+        """Phase I keeps 1/4 <= H/W <= 16 (Table II)."""
+        for h, w in hw_config_candidates(10, prune=True):
+            assert 0.25 <= h / w <= 16.0
+
+    def test_pruning_strictly_shrinks(self):
+        assert len(hw_config_candidates(10, prune=True)) < len(
+            hw_config_candidates(10, prune=False)
+        )
+
+    def test_invalid_m(self):
+        with pytest.raises(ConfigError):
+            hw_config_candidates(0)
+
+
+class TestDesignSpaceSize:
+    def test_table2_magnitude_for_nvsa_scale(self):
+        """m=10 with an NVSA-scale graph reaches the paper's ~10^300, and
+        the two-phase DSE explores ~10^3-10^4.5 points — a reduction of
+        well over the paper's '100 magnitudes'."""
+        size = design_space_size(m=10, n_layer_nodes=33, n_vsa_nodes=64)
+        assert 250 < size.log10_original < 400
+        assert size.log10_explored < 5
+        assert size.log10_reduction > 100
+
+    def test_space_grows_with_node_count(self):
+        small = design_space_size(10, 5, 5)
+        large = design_space_size(10, 50, 50)
+        assert large.log10_original > small.log10_original
+
+    def test_phase2_points_scale_with_layers(self):
+        a = design_space_size(10, 10, 10, iter_max=8)
+        b = design_space_size(10, 20, 10, iter_max=8)
+        assert 10 ** b.log10_phase2 == pytest.approx(2 * 10**a.log10_phase2)
+
+    def test_explored_combines_phases(self):
+        size = design_space_size(10, 10, 10)
+        assert size.log10_explored >= size.log10_phase1
+        assert size.log10_explored >= size.log10_phase2
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ConfigError):
+            design_space_size(10, 0, 5)
+        with pytest.raises(ConfigError):
+            design_space_size(10, 5, 5, iter_max=0)

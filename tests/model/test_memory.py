@@ -1,0 +1,79 @@
+"""Unit tests for the memory sizing rules and SIMD width selection."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.model.memory import BRAM_BLOCK_BYTES, URAM_BLOCK_BYTES, MemoryPlan, plan_memory, simd_width
+from repro.quant import MIXED_PRECISION_PRESETS
+
+
+class TestMemoryPlan:
+    def test_cache_rule(self, small_nvsa_graph):
+        """Cache = 2 × (MemA + MemB + MemC), rounded to URAM blocks."""
+        plan = plan_memory(small_nvsa_graph, MIXED_PRECISION_PRESETS["MP"])
+        expected = 2 * (plan.mem_a_bytes + plan.mem_b_bytes + plan.mem_c_bytes)
+        assert 0 <= plan.cache_bytes - expected < URAM_BLOCK_BYTES
+
+    def test_block_granularity(self, small_nvsa_graph):
+        plan = plan_memory(small_nvsa_graph, MIXED_PRECISION_PRESETS["MP"])
+        for size in (plan.mem_a1_bytes, plan.mem_a2_bytes, plan.mem_b_bytes,
+                     plan.mem_c_bytes):
+            assert size % BRAM_BLOCK_BYTES == 0
+
+    def test_mem_a1_covers_largest_filter(self, small_nvsa_graph):
+        plan = plan_memory(small_nvsa_graph, MIXED_PRECISION_PRESETS["MP"])
+        nn_bytes = MIXED_PRECISION_PRESETS["MP"].neural.bytes_per_element
+        largest = max(
+            n.gemm.weight_elements * nn_bytes
+            for n in small_nvsa_graph.layer_nodes
+            if n.gemm is not None and n.domain.value == "neural"
+        )
+        assert plan.mem_a1_bytes >= largest
+
+    def test_mem_a2_covers_largest_vsa_node(self, small_nvsa_graph):
+        plan = plan_memory(small_nvsa_graph, MIXED_PRECISION_PRESETS["MP"])
+        sym = MIXED_PRECISION_PRESETS["MP"].symbolic.bytes_per_element
+        largest = max(
+            n.vsa.n * n.vsa.d * sym
+            for n in small_nvsa_graph.vsa_nodes
+            if n.vsa is not None
+        )
+        assert plan.mem_a2_bytes >= largest
+
+    def test_precision_shrinks_plan(self, small_nvsa_graph):
+        fp32 = plan_memory(small_nvsa_graph, MIXED_PRECISION_PRESETS["FP32"])
+        mp = plan_memory(small_nvsa_graph, MIXED_PRECISION_PRESETS["MP"])
+        assert mp.total_sram_bytes < fp32.total_sram_bytes
+
+    def test_bram_uram_block_counts(self):
+        plan = MemoryPlan(
+            mem_a1_bytes=BRAM_BLOCK_BYTES * 4,
+            mem_a2_bytes=BRAM_BLOCK_BYTES,
+            mem_b_bytes=BRAM_BLOCK_BYTES * 2,
+            mem_c_bytes=BRAM_BLOCK_BYTES,
+            cache_bytes=URAM_BLOCK_BYTES * 3,
+        )
+        assert plan.bram_blocks == 8
+        assert plan.uram_blocks == 3
+        assert plan.mem_a_bytes == BRAM_BLOCK_BYTES * 5
+
+
+class TestSimdWidth:
+    def test_width_from_candidates(self, small_nvsa_graph):
+        width = simd_width(small_nvsa_graph, 100_000)
+        assert width in (16, 32, 64, 128, 256, 512)
+
+    def test_generous_producers_allow_narrow_width(self, small_nvsa_graph):
+        """If every array op is modeled as very slow, 16 lanes suffice."""
+        cycles = {n.name: 10**9 for n in small_nvsa_graph.layer_nodes}
+        cycles.update({n.name: 10**9 for n in small_nvsa_graph.vsa_nodes})
+        assert simd_width(small_nvsa_graph, 10**9, cycles) == 16
+
+    def test_tight_budget_forces_wide(self, small_nvsa_graph):
+        narrow = simd_width(small_nvsa_graph, 10**9)
+        wide = simd_width(small_nvsa_graph, 100)
+        assert wide >= narrow
+
+    def test_invalid_budget(self, small_nvsa_graph):
+        with pytest.raises(ConfigError):
+            simd_width(small_nvsa_graph, 0)

@@ -1,0 +1,146 @@
+"""Unit tests for the analytical runtime models (paper Eqs. 1-5)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import ConfigError
+from repro.model.runtime import (
+    layer_runtime,
+    nn_total_runtime,
+    parallel_runtime,
+    sequential_runtime,
+    simd_runtime,
+    vsa_node_runtime,
+    vsa_streaming_latency,
+    vsa_total_runtime,
+)
+from repro.nn.gemm import GemmDims
+from repro.trace.opnode import VsaDims
+
+geom = st.tuples(
+    st.sampled_from([4, 8, 16, 32]),
+    st.sampled_from([4, 8, 16, 32, 64]),
+    st.integers(1, 8),
+)
+
+
+class TestEq1LayerRuntime:
+    def test_hand_computed_value(self):
+        # (2*8 + 16 + 10 - 2) * ceil(ceil(32/2)/8) * ceil(24/16)
+        dims = GemmDims(m=10, n=32, k=24)
+        expected = (16 + 16 + 10 - 2) * 2 * 2
+        assert layer_runtime(8, 16, 2, dims) == expected
+
+    def test_more_subarrays_never_slower(self):
+        dims = GemmDims(m=100, n=512, k=256)
+        times = [layer_runtime(16, 16, nl, dims) for nl in range(1, 9)]
+        assert all(a >= b for a, b in zip(times, times[1:]))
+
+    @given(geom, st.integers(1, 500), st.integers(1, 512), st.integers(1, 512))
+    @settings(max_examples=40)
+    def test_positive_and_monotone_in_m(self, g, m, n, k):
+        h, w, nl = g
+        t1 = layer_runtime(h, w, nl, GemmDims(m=m, n=n, k=k))
+        t2 = layer_runtime(h, w, nl, GemmDims(m=m + 10, n=n, k=k))
+        assert 0 < t1 <= t2
+
+    def test_invalid_geometry(self):
+        with pytest.raises(ConfigError):
+            layer_runtime(0, 4, 1, GemmDims(1, 1, 1))
+
+
+class TestEq2NnTotal:
+    def test_sums_layers(self):
+        layers = [GemmDims(4, 8, 8), GemmDims(8, 16, 8)]
+        total = nn_total_runtime(8, 8, [2, 2], layers)
+        assert total == sum(layer_runtime(8, 8, 2, d) for d in layers)
+
+    def test_length_mismatch(self):
+        with pytest.raises(ConfigError):
+            nn_total_runtime(8, 8, [1], [GemmDims(4, 8, 8), GemmDims(8, 8, 8)])
+
+
+class TestEq34VsaRuntime:
+    def test_streaming_latency_formula(self):
+        assert vsa_streaming_latency(16, 64) == 3 * 16 + 64 - 1
+
+    def test_spatial_hand_computed(self):
+        # n * ceil(d/(W*H*Nv)) * T, T = 3*8 + 32 - 1 = 55
+        dims = VsaDims(n=4, d=32)
+        assert vsa_node_runtime(8, 4, 1, dims, "spatial") == 4 * 1 * 55
+
+    def test_temporal_hand_computed(self):
+        # ceil(n/W) * ceil(d/(H*Nv)) * T = ceil(4/4) * ceil(32/8) * 55
+        dims = VsaDims(n=4, d=32)
+        assert vsa_node_runtime(8, 4, 1, dims, "temporal") == 1 * 4 * 55
+
+    def test_best_is_min(self):
+        dims = VsaDims(n=64, d=1024)
+        s = vsa_node_runtime(16, 64, 2, dims, "spatial")
+        t = vsa_node_runtime(16, 64, 2, dims, "temporal")
+        assert vsa_node_runtime(16, 64, 2, dims, "best") == min(s, t)
+
+    def test_unknown_mapping(self):
+        with pytest.raises(ConfigError):
+            vsa_node_runtime(8, 8, 1, VsaDims(1, 8), "diagonal")
+
+    @given(geom, st.integers(1, 64), st.sampled_from([16, 64, 256, 1024]))
+    @settings(max_examples=40)
+    def test_more_subarrays_never_slower(self, g, n, d):
+        h, w, _ = g
+        dims = VsaDims(n=n, d=d)
+        t1 = vsa_node_runtime(h, w, 1, dims)
+        t4 = vsa_node_runtime(h, w, 4, dims)
+        assert t4 <= t1
+
+    def test_eq5_total_is_min_over_schemes(self):
+        nodes = [VsaDims(8, 128), VsaDims(32, 64)]
+        nv = [2, 2]
+        spatial = sum(vsa_node_runtime(8, 8, 2, n, "spatial") for n in nodes)
+        temporal = sum(vsa_node_runtime(8, 8, 2, n, "temporal") for n in nodes)
+        assert vsa_total_runtime(8, 8, nv, nodes) == min(spatial, temporal)
+
+    def test_empty_vsa_is_free(self):
+        assert vsa_total_runtime(8, 8, [], []) == 0
+
+
+class TestSequentialAndParallel:
+    layers = [GemmDims(m=64, n=64, k=64)]
+    vsa = [VsaDims(n=8, d=128)]
+
+    def test_sequential_is_sum(self):
+        t = sequential_runtime(8, 8, 4, self.layers, self.vsa)
+        t_nn = nn_total_runtime(8, 8, [4], self.layers)
+        t_v = vsa_total_runtime(8, 8, [4], self.vsa)
+        assert t == t_nn + t_v
+
+    def test_parallel_is_max(self):
+        t = parallel_runtime(8, 8, [3], [1], self.layers, self.vsa)
+        t_nn = nn_total_runtime(8, 8, [3], self.layers)
+        t_v = vsa_total_runtime(8, 8, [1], self.vsa)
+        assert t == max(t_nn, t_v)
+
+    def test_parallel_never_beats_ideal_sum_bound(self):
+        """max(a, b) >= (a + b) / 2: structural sanity."""
+        t_par = parallel_runtime(8, 8, [2], [2], self.layers, self.vsa)
+        t_nn = nn_total_runtime(8, 8, [2], self.layers)
+        t_v = vsa_total_runtime(8, 8, [2], self.vsa)
+        assert t_par >= (t_nn + t_v) / 2
+
+
+class TestSimdRuntime:
+    def test_line_rate(self):
+        # 2 flops per lane-cycle: 1024 flops on 64 lanes = 8 cycles + depth.
+        assert simd_runtime(1024, 64) == 8 + 8
+
+    def test_zero_flops_is_pipeline_depth(self):
+        assert simd_runtime(0, 64) == 8
+
+    def test_wider_is_never_slower(self):
+        assert simd_runtime(10_000, 128) <= simd_runtime(10_000, 64)
+
+    def test_invalid(self):
+        with pytest.raises(ConfigError):
+            simd_runtime(10, 0)
+        with pytest.raises(ConfigError):
+            simd_runtime(-1, 8)

@@ -1,0 +1,166 @@
+"""Unit tests for the NN layer vocabulary."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import ShapeError
+from repro.nn import (
+    Add,
+    AvgPool2d,
+    BatchNorm2d,
+    Conv2d,
+    Flatten,
+    Linear,
+    MaxPool2d,
+    ReLU,
+    Sequential,
+    Softmax,
+)
+
+
+@pytest.fixture
+def x_nchw():
+    return np.random.default_rng(0).standard_normal((2, 3, 16, 16))
+
+
+class TestConv2d:
+    def test_forward_shape_matches_output_shape(self, x_nchw):
+        conv = Conv2d("c", 3, 8, kernel=3, stride=2, padding=1, rng=0)
+        out = conv(x_nchw)
+        assert out.shape == conv.output_shape(x_nchw.shape)
+
+    def test_gemm_dims_flops(self, x_nchw):
+        conv = Conv2d("c", 3, 8, kernel=3, padding=1, rng=0)
+        dims = conv.gemm_dims(x_nchw.shape)
+        assert conv.flops(x_nchw.shape) == dims.flops
+
+    def test_bias_toggles_weight_count(self):
+        with_bias = Conv2d("c", 3, 8, 3, bias=True, rng=0)
+        without = Conv2d("c", 3, 8, 3, bias=False, rng=0)
+        assert with_bias.weight_elements() == without.weight_elements() + 8
+
+    def test_wrong_channels_rejected(self, x_nchw):
+        conv = Conv2d("c", 4, 8, 3, rng=0)
+        with pytest.raises(ShapeError):
+            conv(x_nchw)
+
+    def test_invalid_params_rejected(self):
+        with pytest.raises(ShapeError):
+            Conv2d("c", 0, 8, 3)
+
+
+class TestLinear:
+    def test_forward(self):
+        lin = Linear("fc", 8, 4, rng=0)
+        x = np.random.default_rng(1).standard_normal((3, 8))
+        out = lin(x)
+        assert out.shape == (3, 4)
+        assert np.allclose(out, x @ lin.weight + lin.bias)
+
+    def test_wrong_features_rejected(self):
+        lin = Linear("fc", 8, 4, rng=0)
+        with pytest.raises(ShapeError):
+            lin(np.zeros((3, 9)))
+
+    def test_gemm_dims(self):
+        lin = Linear("fc", 8, 4, rng=0)
+        assert lin.gemm_dims((3, 8)).m == 3
+
+
+class TestBatchNorm:
+    def test_identity_at_init(self, x_nchw):
+        bn = BatchNorm2d("bn", 3)
+        out = bn(x_nchw)
+        assert np.allclose(out, x_nchw, atol=1e-4)
+
+    def test_affine_applied(self, x_nchw):
+        bn = BatchNorm2d("bn", 3)
+        bn.gamma[:] = 2.0
+        bn.beta[:] = 1.0
+        out = bn(x_nchw)
+        assert np.allclose(out, 2.0 * x_nchw + 1.0, atol=1e-4)
+
+    def test_wrong_channels(self, x_nchw):
+        with pytest.raises(ShapeError):
+            BatchNorm2d("bn", 5)(x_nchw)
+
+
+class TestActivationsAndPools:
+    def test_relu(self):
+        x = np.array([-1.0, 0.0, 2.0])
+        assert np.allclose(ReLU("r")(x), [0.0, 0.0, 2.0])
+
+    def test_maxpool_values(self):
+        x = np.arange(16, dtype=float).reshape(1, 1, 4, 4)
+        out = MaxPool2d("m", kernel=2)(x)
+        assert out.shape == (1, 1, 2, 2)
+        assert np.allclose(out[0, 0], [[5, 7], [13, 15]])
+
+    def test_maxpool_padding_uses_neg_inf(self):
+        x = -np.ones((1, 1, 2, 2))
+        out = MaxPool2d("m", kernel=3, stride=1, padding=1)(x)
+        assert np.all(out == -1.0)
+
+    def test_maxpool_shape_consistency(self, x_nchw):
+        pool = MaxPool2d("m", kernel=3, stride=2, padding=1)
+        assert pool(x_nchw).shape == pool.output_shape(x_nchw.shape)
+
+    def test_avgpool_global(self, x_nchw):
+        pool = AvgPool2d("a")
+        out = pool(x_nchw)
+        assert out.shape == (2, 3)
+        assert np.allclose(out, x_nchw.mean(axis=(2, 3)))
+
+    def test_softmax_normalizes(self):
+        out = Softmax("s")(np.random.default_rng(0).standard_normal((4, 7)))
+        assert np.allclose(out.sum(axis=-1), 1.0)
+
+    def test_flatten(self, x_nchw):
+        out = Flatten("f")(x_nchw)
+        assert out.shape == (2, 3 * 16 * 16)
+        assert Flatten("f").flops(x_nchw.shape) == 0
+
+    def test_add_requires_two_operands(self):
+        with pytest.raises(ShapeError):
+            Add("a").forward(np.ones(3))
+
+    def test_add_shape_mismatch(self):
+        with pytest.raises(ShapeError):
+            Add("a").forward(np.ones(3), np.ones(4))
+
+
+class TestSequential:
+    def test_chain_shapes(self, x_nchw):
+        seq = Sequential([
+            Conv2d("c1", 3, 8, 3, stride=2, padding=1, rng=0),
+            BatchNorm2d("bn", 8),
+            ReLU("r"),
+            AvgPool2d("a"),
+            Flatten("f"),
+            Linear("fc", 8, 5, rng=0),
+        ])
+        out = seq(x_nchw)
+        assert out.shape == seq.output_shape(x_nchw.shape)
+        assert out.shape == (2, 5)
+
+    def test_weight_elements_sum(self):
+        seq = Sequential([Linear("a", 4, 4, rng=0), Linear("b", 4, 2, rng=0)])
+        assert seq.weight_elements() == (4 * 4 + 4) + (4 * 2 + 2)
+
+    @given(st.integers(1, 3), st.integers(8, 24))
+    @settings(max_examples=10, deadline=None)
+    def test_output_shape_matches_forward_everywhere(self, batch, hw):
+        """Property: static shape inference agrees with execution."""
+        layers = [
+            Conv2d("c", 1, 4, 3, stride=1, padding=1, rng=0),
+            MaxPool2d("m", 2),
+            BatchNorm2d("bn", 4),
+            ReLU("r"),
+        ]
+        x = np.zeros((batch, 1, hw, hw))
+        shape = x.shape
+        for layer in layers:
+            x = layer(x)
+            shape = layer.output_shape(shape)
+            assert x.shape == tuple(shape)

@@ -1,0 +1,91 @@
+"""Unit tests for ResNet-18 / small-CNN construction and structural walks."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ShapeError
+from repro.nn import build_resnet18, build_small_cnn
+from repro.nn.resnet import BasicBlock
+
+
+class TestResNet18:
+    @pytest.fixture(scope="class")
+    def net(self):
+        return build_resnet18(rng=0)
+
+    def test_parameter_count_matches_torchvision_scale(self, net):
+        """Width-64 grayscale ResNet-18 with a 512-way head: ~11.4M params."""
+        assert 11_000_000 < net.weight_elements() < 12_000_000
+
+    def test_forward_shape(self, net):
+        out = net(np.zeros((1, 1, 32, 32)))
+        assert out.shape == (1, 512)
+
+    def test_describe_is_execution_ordered(self, net):
+        ops = net.describe((2, 1, 64, 64))
+        seen = {"input"}
+        for op in ops:
+            for dep in op.deps:
+                assert dep in seen, f"{op.name} depends on unseen {dep}"
+            seen.add(op.name)
+
+    def test_describe_has_20_gemms(self, net):
+        """17 convs + 3 downsample convs + 1 fc = 21 GEMM layers."""
+        gemms = [op for op in net.describe((1, 1, 64, 64)) if op.gemm is not None]
+        assert len(gemms) == 21
+
+    def test_describe_shapes_match_forward(self, net):
+        shape = (1, 1, 32, 32)
+        ops = net.describe(shape)
+        out = net(np.zeros(shape))
+        assert tuple(ops[-1].output_shape) == out.shape
+
+    def test_residual_add_has_two_deps(self, net):
+        adds = [op for op in net.describe((1, 1, 64, 64)) if op.kind == "add"]
+        assert len(adds) == 8
+        assert all(len(op.deps) == 2 for op in adds)
+
+    def test_width_scales_params_quadratically(self):
+        w64 = build_resnet18(base_width=64, rng=0).weight_elements()
+        w32 = build_resnet18(base_width=32, rng=0).weight_elements()
+        assert 3.0 < w64 / w32 < 4.5
+
+    def test_gemm_layers_selector(self, net):
+        layers = net.gemm_layers((1, 1, 64, 64))
+        assert all(op.gemm is not None for op in layers)
+
+
+class TestBasicBlock:
+    def test_downsample_created_when_needed(self):
+        block = BasicBlock("b", 32, 64, stride=2, rng=0)
+        assert block.downsample is not None
+
+    def test_no_downsample_for_identity(self):
+        block = BasicBlock("b", 32, 32, stride=1, rng=0)
+        assert block.downsample is None
+
+    def test_forward_shape(self):
+        block = BasicBlock("b", 8, 16, stride=2, rng=0)
+        out = block.forward(np.zeros((1, 8, 16, 16)))
+        assert out.shape == (1, 16, 8, 8)
+
+    def test_describe_matches_forward(self):
+        block = BasicBlock("b", 8, 8, stride=1, rng=0)
+        ops = block.describe((1, 8, 8, 8), "input")
+        assert tuple(ops[-1].output_shape) == (1, 8, 8, 8)
+
+
+class TestSmallCnn:
+    def test_forward(self):
+        net = build_small_cnn(rng=0)
+        out = net(np.zeros((2, 1, 32, 32)))
+        assert out.shape == (2, 128)
+
+    def test_depth_validation(self):
+        with pytest.raises(ShapeError):
+            build_small_cnn(depth=0)
+
+    def test_deeper_means_more_params(self):
+        shallow = build_small_cnn(depth=2, rng=0).weight_elements()
+        deep = build_small_cnn(depth=6, rng=0).weight_elements()
+        assert deep > shallow

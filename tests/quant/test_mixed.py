@@ -1,0 +1,75 @@
+"""Unit tests for mixed-precision configs and the memory-footprint model."""
+
+import pytest
+
+from repro.errors import PrecisionError
+from repro.quant import (
+    MIXED_PRECISION_PRESETS,
+    MixedPrecisionConfig,
+    Precision,
+    component_footprint_bytes,
+    model_footprint_bytes,
+)
+
+
+class TestMixedPrecisionConfig:
+    def test_presets_cover_table4_columns(self):
+        assert list(MIXED_PRECISION_PRESETS) == ["FP32", "FP16", "INT8", "MP", "INT4"]
+
+    def test_mp_preset_is_int8_int4(self):
+        mp = MIXED_PRECISION_PRESETS["MP"]
+        assert mp.neural is Precision.INT8
+        assert mp.symbolic is Precision.INT4
+
+    def test_uniform(self):
+        cfg = MixedPrecisionConfig.uniform("fp16")
+        assert cfg.neural is cfg.symbolic is Precision.FP16
+
+    def test_auto_name(self):
+        cfg = MixedPrecisionConfig(Precision.INT8, Precision.INT4)
+        assert cfg.name == "int8/int4"
+
+    def test_precision_for(self):
+        mp = MIXED_PRECISION_PRESETS["MP"]
+        assert mp.precision_for("neural") is Precision.INT8
+        assert mp.precision_for("symbolic") is Precision.INT4
+
+    def test_precision_for_unknown_component(self):
+        with pytest.raises(PrecisionError):
+            MIXED_PRECISION_PRESETS["MP"].precision_for("quantum")
+
+    def test_non_precision_fields_rejected(self):
+        with pytest.raises(PrecisionError):
+            MixedPrecisionConfig("int8", "int4")  # type: ignore[arg-type]
+
+
+class TestFootprintModel:
+    def test_component_bytes(self):
+        assert component_footprint_bytes(1000, Precision.FP32) == 4000
+        assert component_footprint_bytes(1000, Precision.INT4) == 500
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(PrecisionError):
+            component_footprint_bytes(-1, Precision.INT8)
+
+    def test_table4_memory_progression(self):
+        """The paper's 32/16/8/5.5/4 MB column follows from byte widths."""
+        elements = {"neural": 3_000_000, "symbolic": 5_000_000}
+        mb = {
+            name: model_footprint_bytes(elements, cfg) / 2**20
+            for name, cfg in MIXED_PRECISION_PRESETS.items()
+        }
+        assert mb["FP32"] == pytest.approx(2 * mb["FP16"])
+        assert mb["FP16"] == pytest.approx(2 * mb["INT8"])
+        assert mb["INT8"] == pytest.approx(2 * mb["INT4"])
+        # MP sits between INT8 and INT4: full-width neural, half symbolic.
+        assert mb["INT4"] < mb["MP"] < mb["INT8"]
+        expected_mp = (3_000_000 + 5_000_000 * 0.5) / 2**20
+        assert mb["MP"] == pytest.approx(expected_mp)
+
+    def test_mp_saving_over_fp32_matches_paper(self):
+        """Paper: mixed precision gives ~5.8x memory saving vs FP32."""
+        elements = {"neural": 3_000_000, "symbolic": 5_000_000}
+        fp32 = model_footprint_bytes(elements, MIXED_PRECISION_PRESETS["FP32"])
+        mp = model_footprint_bytes(elements, MIXED_PRECISION_PRESETS["MP"])
+        assert 5.0 < fp32 / mp < 6.5

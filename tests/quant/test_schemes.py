@@ -1,0 +1,146 @@
+"""Unit tests for quantization schemes."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.errors import PrecisionError
+from repro.quant import (
+    Precision,
+    dequantize,
+    quantization_noise_floor,
+    quantize_array,
+    quantize_tensor,
+)
+
+
+class TestPrecision:
+    def test_bits(self):
+        assert Precision.FP32.bits == 32
+        assert Precision.FP16.bits == 16
+        assert Precision.INT8.bits == 8
+        assert Precision.INT4.bits == 4
+
+    def test_bytes_per_element_packs_int4(self):
+        assert Precision.INT4.bytes_per_element == 0.5
+        assert Precision.INT8.bytes_per_element == 1.0
+
+    def test_integer_flags(self):
+        assert Precision.INT8.is_integer
+        assert not Precision.FP16.is_integer
+
+    def test_integer_levels(self):
+        assert Precision.INT8.integer_levels == 256
+        assert Precision.INT4.integer_levels == 16
+
+    def test_levels_rejected_for_float(self):
+        with pytest.raises(PrecisionError):
+            _ = Precision.FP32.integer_levels
+
+    def test_parse_string(self):
+        assert Precision.parse("int8") is Precision.INT8
+        assert Precision.parse("FP16") is Precision.FP16
+
+    def test_parse_passthrough(self):
+        assert Precision.parse(Precision.INT4) is Precision.INT4
+
+    def test_parse_unknown(self):
+        with pytest.raises(PrecisionError):
+            Precision.parse("int3")
+
+
+class TestQuantizeTensor:
+    def test_roundtrip_error_bounded_by_half_step(self):
+        rng = np.random.default_rng(0)
+        x = rng.standard_normal(1000)
+        qt = quantize_tensor(x, Precision.INT8)
+        step = qt.scale
+        assert np.max(np.abs(dequantize(qt) - x)) <= step / 2 + 1e-12
+
+    def test_grid_is_integer(self):
+        qt = quantize_tensor(np.linspace(-1, 1, 64), Precision.INT4)
+        assert qt.values.dtype == np.int32
+        assert qt.values.max() <= 7
+        assert qt.values.min() >= -8
+
+    def test_zero_tensor(self):
+        qt = quantize_tensor(np.zeros(8), Precision.INT8)
+        assert np.allclose(qt.dequantize(), 0.0)
+
+    def test_float_precision_rejected(self):
+        with pytest.raises(PrecisionError):
+            quantize_tensor(np.ones(4), Precision.FP16)
+
+    def test_nbytes_packs_int4(self):
+        qt = quantize_tensor(np.ones(100), Precision.INT4)
+        assert qt.nbytes == 50.0
+
+    @given(
+        hnp.arrays(
+            np.float64,
+            st.integers(1, 64),
+            elements=st.floats(-100, 100, allow_nan=False),
+        )
+    )
+    @settings(max_examples=50)
+    def test_peak_preserved(self, x):
+        """The largest-magnitude element maps near the top of the grid."""
+        qt = quantize_tensor(x, Precision.INT8)
+        rec = qt.dequantize()
+        assert np.max(np.abs(rec - x)) <= qt.scale / 2 + 1e-9
+
+
+class TestQuantizeArray:
+    def test_fp32_is_near_identity(self):
+        x = np.array([1.0, -2.5, 3.25])
+        assert np.allclose(quantize_array(x, Precision.FP32), x, atol=1e-6)
+
+    def test_fp16_rounds(self):
+        x = np.array([1.0 + 2.0**-13])
+        q = quantize_array(x, Precision.FP16)
+        assert q[0] != x[0]
+        assert abs(q[0] - x[0]) < 2.0**-10
+
+    def test_fp8_keeps_sign_and_scale(self):
+        x = np.array([0.1, -10.0, 100.0])
+        q = quantize_array(x, "fp8")
+        assert np.all(np.sign(q) == np.sign(x))
+        assert np.all(np.abs(q - x) <= np.abs(x) * 0.08)
+
+    def test_int4_is_coarse(self):
+        rng = np.random.default_rng(1)
+        x = rng.standard_normal(512)
+        err4 = np.abs(quantize_array(x, Precision.INT4) - x).mean()
+        err8 = np.abs(quantize_array(x, Precision.INT8) - x).mean()
+        assert err4 > 5 * err8
+
+    def test_empty_array(self):
+        q = quantize_array(np.array([]), Precision.INT8)
+        assert q.size == 0
+
+    @given(st.sampled_from(list(Precision)))
+    def test_idempotent(self, precision):
+        rng = np.random.default_rng(3)
+        x = rng.standard_normal(64)
+        once = quantize_array(x, precision)
+        twice = quantize_array(once, precision)
+        assert np.allclose(once, twice, atol=1e-12)
+
+
+class TestNoiseFloor:
+    def test_monotone_in_bits(self):
+        floors = [
+            quantization_noise_floor(p)
+            for p in (Precision.FP32, Precision.FP16, Precision.INT8, Precision.INT4)
+        ]
+        assert floors == sorted(floors)
+
+    def test_int8_band(self):
+        """Empirical rounding noise on Gaussian data is within 3x the floor."""
+        rng = np.random.default_rng(7)
+        x = rng.standard_normal(20_000)
+        q = quantize_array(x, Precision.INT8)
+        rms = np.sqrt(np.mean((q - x) ** 2))
+        floor = quantization_noise_floor(Precision.INT8)
+        assert floor / 3 < rms < floor * 3

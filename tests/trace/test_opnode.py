@@ -1,0 +1,95 @@
+"""Unit tests for the trace data model."""
+
+import pytest
+
+from repro.errors import TraceError
+from repro.nn.gemm import GemmDims
+from repro.trace import ExecutionUnit, OpDomain, Trace, TraceOp, VsaDims
+
+
+def _op(name, inputs=(), unit=ExecutionUnit.SIMD, domain=OpDomain.SYMBOLIC, **kw):
+    defaults = dict(
+        kind="sum",
+        output_shape=(4,),
+        flops=8,
+        bytes_read=32,
+        bytes_written=16,
+    )
+    defaults.update(kw)
+    return TraceOp(name=name, domain=domain, unit=unit, inputs=tuple(inputs), **defaults)
+
+
+class TestTraceOp:
+    def test_requires_percent_prefix(self):
+        with pytest.raises(TraceError):
+            _op("sum_1")
+
+    def test_array_nn_requires_gemm(self):
+        with pytest.raises(TraceError):
+            _op("%x", unit=ExecutionUnit.ARRAY_NN)
+
+    def test_array_vsa_requires_vsa_dims(self):
+        with pytest.raises(TraceError):
+            _op("%x", unit=ExecutionUnit.ARRAY_VSA)
+
+    def test_negative_counters_rejected(self):
+        with pytest.raises(TraceError):
+            _op("%x", flops=-1)
+
+    def test_arithmetic_intensity(self):
+        op = _op("%x", flops=96, bytes_read=32, bytes_written=16)
+        assert op.arithmetic_intensity == pytest.approx(2.0)
+
+    def test_vsa_dims_flops(self):
+        assert VsaDims(n=4, d=16).flops == 2 * 4 * 256
+
+    def test_vsa_dims_validation(self):
+        with pytest.raises(TraceError):
+            VsaDims(n=0, d=16)
+
+
+class TestTrace:
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(TraceError):
+            Trace("w", [_op("%a"), _op("%a")])
+
+    def test_out_of_order_dependency_rejected(self):
+        ops = [_op("%a", inputs=("%b",)), _op("%b")]
+        with pytest.raises(TraceError):
+            Trace("w", ops)
+
+    def test_external_inputs(self):
+        t = Trace("w", [_op("%a", inputs=("%input",)), _op("%b", inputs=("%a",))])
+        assert t.external_inputs == ["%input"]
+
+    def test_lookup_and_contains(self):
+        t = Trace("w", [_op("%a")])
+        assert "%a" in t
+        assert t["%a"].name == "%a"
+        with pytest.raises(TraceError):
+            t["%missing"]
+
+    def test_domain_and_unit_filters(self):
+        ops = [
+            _op("%n", domain=OpDomain.NEURAL,
+                unit=ExecutionUnit.ARRAY_NN, gemm=GemmDims(2, 2, 2)),
+            _op("%s", domain=OpDomain.SYMBOLIC),
+        ]
+        t = Trace("w", ops)
+        assert [o.name for o in t.neural_ops] == ["%n"]
+        assert [o.name for o in t.symbolic_ops] == ["%s"]
+        assert [o.name for o in t.by_unit(ExecutionUnit.ARRAY_NN)] == ["%n"]
+
+    def test_rollups(self):
+        ops = [
+            _op("%n", domain=OpDomain.NEURAL, flops=100, bytes_read=10, bytes_written=10),
+            _op("%s", flops=50, bytes_read=5, bytes_written=5),
+        ]
+        t = Trace("w", ops)
+        assert t.total_flops() == 150
+        assert t.total_flops(OpDomain.NEURAL) == 100
+        assert t.total_bytes(OpDomain.SYMBOLIC) == 10
+
+    def test_consumers(self):
+        t = Trace("w", [_op("%a"), _op("%b", inputs=("%a",)), _op("%c", inputs=("%a",))])
+        assert [o.name for o in t.consumers("%a")] == ["%b", "%c"]

@@ -1,0 +1,75 @@
+"""Unit tests for trace serialization (JSON + Listing-1 rendering)."""
+
+import json
+
+import pytest
+
+from repro.errors import TraceError
+from repro.trace import Tracer, trace_from_json, trace_to_json, trace_to_listing
+from repro.nn.gemm import GemmDims
+from repro.trace.opnode import ExecutionUnit, OpDomain
+
+
+def _sample_trace():
+    t = Tracer("nvsa")
+    conv = t.record(
+        "conv2d", OpDomain.NEURAL, ExecutionUnit.ARRAY_NN,
+        ("%input",), (1, 8, 8, 8), gemm=GemmDims(m=64, n=8, k=9),
+        params={"kernel": 3},
+    )
+    bind = t.record_binding((conv.name,), n_vectors=4, dim=32)
+    t.record_simd("match_prob", (bind.name,), (4,))
+    t.record_host("argmax", ("%match_prob_1",))
+    return t.finish()
+
+
+class TestJsonRoundTrip:
+    def test_lossless(self):
+        trace = _sample_trace()
+        restored = trace_from_json(trace_to_json(trace))
+        assert restored.workload == trace.workload
+        assert len(restored) == len(trace)
+        for a, b in zip(trace, restored):
+            assert a == b
+
+    def test_valid_json_document(self):
+        doc = json.loads(trace_to_json(_sample_trace()))
+        assert doc["workload"] == "nvsa"
+        assert doc["format_version"] == 1
+        assert len(doc["ops"]) == 4
+
+    def test_rejects_garbage(self):
+        with pytest.raises(TraceError):
+            trace_from_json("not json at all {")
+
+    def test_rejects_missing_fields(self):
+        with pytest.raises(TraceError):
+            trace_from_json(json.dumps({"ops": []}))
+
+    def test_rejects_wrong_version(self):
+        doc = json.loads(trace_to_json(_sample_trace()))
+        doc["format_version"] = 99
+        with pytest.raises(TraceError):
+            trace_from_json(json.dumps(doc))
+
+    def test_rejects_malformed_op(self):
+        doc = json.loads(trace_to_json(_sample_trace()))
+        del doc["ops"][0]["kind"]
+        with pytest.raises(TraceError):
+            trace_from_json(json.dumps(doc))
+
+
+class TestListingRendering:
+    def test_matches_listing1_style(self):
+        listing = trace_to_listing(_sample_trace())
+        lines = listing.splitlines()
+        assert lines[0] == "graph():"
+        assert "%conv2d_1[1,8,8,8] : call_module[conv2d]" in lines[1]
+        # Symbolic VSA kernels render in the nvsa namespace, as in Listing 1.
+        assert "call_function[nvsa.binding_circular]" in listing
+        assert "args = (%conv2d_1[1,8,8,8])" in listing
+
+    def test_every_op_rendered(self):
+        trace = _sample_trace()
+        listing = trace_to_listing(trace)
+        assert len(listing.splitlines()) == len(trace) + 1

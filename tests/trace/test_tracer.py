@@ -1,0 +1,92 @@
+"""Unit tests for the trace builder."""
+
+import pytest
+
+from repro.errors import TraceError
+from repro.nn import build_small_cnn
+from repro.nn.gemm import GemmDims
+from repro.trace import ExecutionUnit, OpDomain, Tracer
+
+
+class TestNaming:
+    def test_sequential_names_per_kind(self):
+        t = Tracer("w")
+        a = t.record_simd("sum", ("%input",), (4,))
+        b = t.record_simd("sum", (a.name,), (4,))
+        c = t.record_simd("mul", (b.name,), (4,))
+        assert (a.name, b.name, c.name) == ("%sum_1", "%sum_2", "%mul_1")
+
+
+class TestDerivedCosts:
+    def test_gemm_costs(self):
+        t = Tracer("w")
+        op = t.record(
+            "linear", OpDomain.NEURAL, ExecutionUnit.ARRAY_NN,
+            ("%input",), (4, 8), gemm=GemmDims(m=4, n=8, k=16),
+        )
+        assert op.flops == 2 * 4 * 8 * 16
+        assert op.bytes_read == (4 * 16 + 16 * 8) * 4
+        assert op.bytes_written == 4 * 8 * 4
+
+    def test_binding_costs(self):
+        t = Tracer("w")
+        op = t.record_binding(("%input",), n_vectors=4, dim=64)
+        assert op.kind == "binding_circular"
+        assert op.unit is ExecutionUnit.ARRAY_VSA
+        assert op.flops == 2 * 4 * 64 * 64
+        assert op.bytes_read == 2 * 4 * 64 * 4
+
+    def test_inverse_binding_kind(self):
+        t = Tracer("w")
+        op = t.record_binding(("%input",), 2, 32, inverse=True)
+        assert op.kind == "inv_binding_circular"
+
+    def test_explicit_overrides_win(self):
+        t = Tracer("w")
+        op = t.record_simd("sum", ("%input",), (4,), flops=999, bytes_read=7)
+        assert op.flops == 999
+        assert op.bytes_read == 7
+
+    def test_host_ops_are_free(self):
+        t = Tracer("w")
+        op = t.record_host("argmax", ("%input",))
+        assert op.flops == 0
+        assert op.bytes_read == 0
+
+    def test_loop_tagging(self):
+        t = Tracer("w")
+        t.set_loop(2)
+        op = t.record_simd("sum", ("%input",), (1,))
+        assert op.loop_index == 2
+        with pytest.raises(TraceError):
+            t.set_loop(-1)
+
+    def test_invalid_element_bytes(self):
+        with pytest.raises(TraceError):
+            Tracer("w", element_bytes=0)
+
+
+class TestRecordNetwork:
+    def test_records_whole_structural_walk(self):
+        net = build_small_cnn(depth=2, rng=0)
+        describe = net.describe((1, 1, 16, 16))
+        t = Tracer("w")
+        tail, name_map = t.record_network(describe)
+        trace = t.finish()
+        assert len(trace) == len(describe)
+        assert trace.external_inputs == ["%input"]
+        assert tail.name in trace
+        # The mapping covers every network-internal name.
+        assert len(name_map) == len(describe) + 1
+
+    def test_empty_network_rejected(self):
+        t = Tracer("w")
+        with pytest.raises(TraceError):
+            t.record_network([])
+
+    def test_finish_validates(self):
+        t = Tracer("w")
+        t.record_simd("sum", ("%input",), (1,))
+        trace = t.finish()
+        assert trace.workload == "w"
+        assert len(trace) == 1

@@ -1,0 +1,78 @@
+"""Unit tests for block-code vectors."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import ShapeError
+from repro.vsa import BlockCodeVector, random_block_code
+
+
+class TestConstruction:
+    def test_shape_properties(self):
+        v = random_block_code(4, 256, rng=0)
+        assert v.blocks == 4
+        assert v.block_dim == 256
+        assert v.dim == 1024
+
+    def test_rejects_non_2d(self):
+        with pytest.raises(ShapeError):
+            BlockCodeVector(np.zeros(8))
+
+    def test_random_is_per_block_unit_norm(self):
+        v = random_block_code(3, 64, rng=1)
+        norms = np.linalg.norm(v.data, axis=-1)
+        assert np.allclose(norms, 1.0)
+
+
+class TestAlgebra:
+    def test_bind_unbind_roundtrip(self):
+        key = random_block_code(4, 256, rng=0)
+        payload = random_block_code(4, 256, rng=1)
+        recovered = key.bind(payload).unbind(key)
+        # Gaussian (non-unitary) keys unbind approximately: d=256 blocks
+        # give ~0.7 similarity, far above the ~1/sqrt(d) noise floor.
+        assert recovered.similarity(payload) > 0.6
+
+    def test_bind_commutative(self):
+        a = random_block_code(2, 64, rng=0)
+        b = random_block_code(2, 64, rng=1)
+        assert np.allclose(a.bind(b).data, b.bind(a).data)
+
+    def test_bundle_and_operators(self):
+        a = random_block_code(2, 32, rng=0)
+        b = random_block_code(2, 32, rng=1)
+        s = a + b
+        assert np.allclose(s.data, a.data + b.data)
+        assert np.allclose((2.0 * a).data, a.scale(2.0).data)
+
+    def test_shape_mismatch_rejected(self):
+        a = random_block_code(2, 32, rng=0)
+        b = random_block_code(2, 64, rng=1)
+        with pytest.raises(ShapeError):
+            a.bind(b)
+
+    def test_normalized(self):
+        a = random_block_code(2, 32, rng=0).scale(7.0).normalized()
+        assert np.allclose(np.linalg.norm(a.data, axis=-1), 1.0)
+
+    def test_similarity_self_is_one(self):
+        a = random_block_code(4, 128, rng=3)
+        assert a.similarity(a) == pytest.approx(1.0)
+
+    @given(st.integers(0, 200))
+    @settings(max_examples=20)
+    def test_distinct_codes_quasi_orthogonal(self, seed):
+        a = random_block_code(4, 512, rng=seed)
+        b = random_block_code(4, 512, rng=seed + 1000)
+        assert abs(a.similarity(b)) < 0.25
+
+    def test_permute_roundtrip(self):
+        a = random_block_code(2, 16, rng=0)
+        assert np.allclose(a.permute(5).permute(-5).data, a.data)
+
+    def test_flatten(self):
+        a = random_block_code(2, 8, rng=0)
+        flat = a.flatten()
+        assert flat.shape == (16,)
+        assert np.allclose(flat.reshape(2, 8), a.data)

@@ -1,0 +1,116 @@
+"""Unit tests for codebooks, cleanup memory and match kernels."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ShapeError
+from repro.vsa import (
+    Codebook,
+    match_prob,
+    match_prob_multi_batched,
+    random_block_code,
+)
+from repro.vsa.ops import circular_convolution
+
+
+@pytest.fixture(scope="module")
+def shapes_cb():
+    return Codebook.random("shape", ["circle", "square", "triangle"], 4, 256, rng=0)
+
+
+class TestMatchProb:
+    def test_identical_is_one(self):
+        v = random_block_code(4, 128, rng=0)
+        assert match_prob(v.data, v.data) == pytest.approx(1.0)
+
+    def test_random_pair_near_zero(self):
+        a = random_block_code(4, 1024, rng=0)
+        b = random_block_code(4, 1024, rng=1)
+        assert match_prob(a.data, b.data) < 0.15
+
+    def test_clipped_at_zero(self):
+        v = random_block_code(2, 64, rng=0)
+        assert match_prob(v.data, -v.data) == 0.0
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ShapeError):
+            match_prob(np.zeros((2, 4)), np.zeros((2, 8)))
+
+    def test_multi_batched_shape_and_peak(self, shapes_cb):
+        query = shapes_cb["square"]
+        scores = match_prob_multi_batched(query.data, shapes_cb.matrix)
+        assert scores.shape == (3,)
+        assert int(np.argmax(scores)) == shapes_cb.index_of("square")
+
+    def test_multi_batched_shape_mismatch(self):
+        with pytest.raises(ShapeError):
+            match_prob_multi_batched(np.zeros((2, 4)), np.zeros((5, 2, 8)))
+
+
+class TestCodebook:
+    def test_accessors(self, shapes_cb):
+        assert len(shapes_cb) == 3
+        assert "circle" in shapes_cb
+        assert "hexagon" not in shapes_cb
+        assert shapes_cb.blocks == 4
+        assert shapes_cb.block_dim == 256
+        assert shapes_cb.n_elements == 3 * 4 * 256
+
+    def test_unknown_atom_raises_keyerror(self, shapes_cb):
+        with pytest.raises(KeyError):
+            shapes_cb["hexagon"]
+
+    def test_cleanup_recovers_noisy_atom(self, shapes_cb):
+        rng = np.random.default_rng(5)
+        # Per-block atom norm is 1; add noise at ~30% of that norm.
+        noisy = shapes_cb["triangle"].data + (0.3 / 16) * rng.standard_normal((4, 256))
+        label, score = shapes_cb.cleanup(noisy)
+        assert label == "triangle"
+        assert score > 0.5
+
+    def test_probabilities_sum_to_one(self, shapes_cb):
+        p = shapes_cb.probabilities(shapes_cb["circle"])
+        assert p.sum() == pytest.approx(1.0)
+        assert int(np.argmax(p)) == shapes_cb.index_of("circle")
+
+    def test_probabilities_rejects_bad_temperature(self, shapes_cb):
+        with pytest.raises(ShapeError):
+            shapes_cb.probabilities(shapes_cb["circle"], temperature=0.0)
+
+    def test_encode_pmf_peaked_matches_atom(self, shapes_cb):
+        pmf = np.array([0.9, 0.05, 0.05])
+        vec = shapes_cb.encode_pmf(pmf)
+        label, _ = shapes_cb.cleanup(vec)
+        assert label == "circle"
+
+    def test_encode_pmf_shape_check(self, shapes_cb):
+        with pytest.raises(ShapeError):
+            shapes_cb.encode_pmf(np.ones(5) / 5)
+
+    def test_empty_codebook_rejected(self):
+        with pytest.raises(ShapeError):
+            Codebook("empty", [])
+
+    def test_mismatched_atom_shapes_rejected(self):
+        a = random_block_code(2, 16, rng=0)
+        b = random_block_code(2, 32, rng=1)
+        with pytest.raises(ShapeError):
+            Codebook("bad", [("a", a), ("b", b)])
+
+
+class TestFractionalPowerCodebook:
+    def test_arithmetic_structure(self):
+        """atom(a) ⊛ atom(b) == atom(a+b): exact FPE arithmetic."""
+        cb = Codebook.fractional_power("value", 9, 4, 128, rng=0)
+        bound = circular_convolution(cb["2"].data, cb["3"].data)
+        scores = match_prob_multi_batched(bound, cb.matrix)
+        assert int(np.argmax(scores)) == 5
+        assert scores[5] > 0.99
+
+    def test_atoms_quasi_orthogonal(self):
+        cb = Codebook.fractional_power("value", 6, 4, 256, rng=1)
+        assert abs(cb["1"].similarity(cb["4"])) < 0.2
+
+    def test_rejects_empty(self):
+        with pytest.raises(ShapeError):
+            Codebook.fractional_power("value", 0, 2, 32)

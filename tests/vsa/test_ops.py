@@ -1,0 +1,190 @@
+"""Unit and property tests for the core VSA algebra.
+
+The paper's Sec. II-A states circular convolution "has commutativity and
+associativity properties, making it particularly effective in hierarchical
+reasoning"; those algebraic invariants are tested here with hypothesis.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import ShapeError
+from repro.vsa import ops
+
+dims = st.integers(2, 32)
+
+
+def _vec(seed: int, d: int) -> np.ndarray:
+    return np.random.default_rng(seed).standard_normal(d)
+
+
+class TestCircularConvolution:
+    @given(dims, st.integers(0, 1000))
+    @settings(max_examples=40)
+    def test_matches_exact_reference(self, d, seed):
+        a, b = _vec(seed, d), _vec(seed + 1, d)
+        fast = ops.circular_convolution(a, b)
+        slow = ops.exact_circular_convolution(a, b)
+        assert np.allclose(fast, slow, atol=1e-10)
+
+    @given(dims, st.integers(0, 1000))
+    @settings(max_examples=40)
+    def test_commutative(self, d, seed):
+        a, b = _vec(seed, d), _vec(seed + 1, d)
+        assert np.allclose(
+            ops.circular_convolution(a, b), ops.circular_convolution(b, a)
+        )
+
+    @given(dims, st.integers(0, 1000))
+    @settings(max_examples=40)
+    def test_associative(self, d, seed):
+        a, b, c = _vec(seed, d), _vec(seed + 1, d), _vec(seed + 2, d)
+        left = ops.circular_convolution(ops.circular_convolution(a, b), c)
+        right = ops.circular_convolution(a, ops.circular_convolution(b, c))
+        assert np.allclose(left, right, atol=1e-9)
+
+    def test_identity_element(self):
+        a = _vec(0, 16)
+        e = ops.unit_vector(16)
+        assert np.allclose(ops.circular_convolution(a, e), a)
+
+    def test_worked_example_from_paper(self):
+        """Fig. 3(b): (A1,A2,A3)⊙(B1,B2,B3) third element check."""
+        a = np.array([1.0, 2.0, 3.0])
+        b = np.array([10.0, 20.0, 30.0])
+        conv = ops.circular_convolution(a, b)
+        # conv[0] = A1B1 + A2B3 + A3B2
+        assert np.isclose(conv[0], 1 * 10 + 2 * 30 + 3 * 20)
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ShapeError):
+            ops.circular_convolution(np.ones(4), np.ones(5))
+
+    def test_batched_broadcasting(self):
+        a = np.random.default_rng(0).standard_normal((5, 8))
+        b = np.random.default_rng(1).standard_normal((5, 8))
+        batched = ops.circular_convolution(a, b)
+        for i in range(5):
+            assert np.allclose(batched[i], ops.circular_convolution(a[i], b[i]))
+
+
+class TestCircularCorrelation:
+    @given(dims, st.integers(0, 1000))
+    @settings(max_examples=40)
+    def test_matches_exact_reference(self, d, seed):
+        a, b = _vec(seed, d), _vec(seed + 1, d)
+        assert np.allclose(
+            ops.circular_correlation(a, b),
+            ops.exact_circular_correlation(a, b),
+            atol=1e-10,
+        )
+
+    @given(dims, st.integers(0, 500))
+    @settings(max_examples=40)
+    def test_unbinds_unitary_binding_exactly(self, d, seed):
+        """corr(g, conv(g, b)) == b for unitary g — the inverse-binding
+        kernel (`nvsa.inv_binding_circular`)."""
+        g = ops.random_unitary_vector(d, rng=seed)
+        b = _vec(seed + 1, d)
+        bound = ops.circular_convolution(g, b)
+        recovered = ops.circular_correlation(g, bound)
+        assert np.allclose(recovered, b, atol=1e-9)
+
+    def test_approximate_unbinding_for_random_vectors(self):
+        d = 2048
+        a = ops.random_vector(d, rng=0)
+        a /= np.linalg.norm(a)
+        b = ops.random_vector(d, rng=1)
+        b /= np.linalg.norm(b)
+        rec = ops.circular_correlation(a, ops.circular_convolution(a, b))
+        sim = float(ops.cosine_similarity(rec, b))
+        assert sim > 0.6
+
+
+class TestUnitaryVectors:
+    @given(dims, st.integers(0, 500))
+    @settings(max_examples=30)
+    def test_unit_norm(self, d, seed):
+        g = ops.random_unitary_vector(d, rng=seed)
+        assert np.isclose(np.linalg.norm(g), 1.0)
+
+    @given(dims, st.integers(0, 500))
+    @settings(max_examples=30)
+    def test_unit_modulus_spectrum(self, d, seed):
+        g = ops.random_unitary_vector(d, rng=seed)
+        mags = np.abs(np.fft.rfft(g))
+        # Flat spectrum (all bins equal) is what makes binding invertible.
+        assert np.allclose(mags, mags[0], atol=1e-9)
+
+    def test_blocks_shape(self):
+        g = ops.random_unitary_vector(32, blocks=4, rng=0)
+        assert g.shape == (4, 32)
+
+
+class TestBindPower:
+    @given(dims, st.integers(0, 6), st.integers(0, 6))
+    @settings(max_examples=40)
+    def test_additive_exponents(self, d, j, k):
+        """g^j ⊛ g^k == g^(j+k) — the FPE arithmetic the NVSA solver uses."""
+        g = ops.random_unitary_vector(d, rng=99)
+        left = ops.circular_convolution(ops.bind_power(g, j), ops.bind_power(g, k))
+        right = ops.bind_power(g, j + k)
+        assert np.allclose(left, right, atol=1e-8)
+
+    def test_zero_power_is_identity(self):
+        g = ops.random_unitary_vector(16, rng=0)
+        assert np.allclose(ops.bind_power(g, 0), ops.unit_vector(16), atol=1e-9)
+
+    def test_negative_power_inverts(self):
+        g = ops.random_unitary_vector(16, rng=0)
+        prod = ops.circular_convolution(ops.bind_power(g, 3), ops.bind_power(g, -3))
+        assert np.allclose(prod, ops.unit_vector(16), atol=1e-9)
+
+
+class TestBundleAndSimilarity:
+    def test_bundle_sums(self):
+        a, b = np.ones(4), 2 * np.ones(4)
+        assert np.allclose(ops.bundle(a, b), 3 * np.ones(4))
+
+    def test_bundle_empty_rejected(self):
+        with pytest.raises(ShapeError):
+            ops.bundle()
+
+    def test_bundle_shape_mismatch_rejected(self):
+        with pytest.raises(ShapeError):
+            ops.bundle(np.ones(3), np.ones(4))
+
+    def test_bundle_preserves_constituents(self):
+        d = 1024
+        a = ops.random_vector(d, rng=0)
+        b = ops.random_vector(d, rng=1)
+        s = ops.bundle(a, b)
+        assert ops.cosine_similarity(s, a) > 0.5
+        assert ops.cosine_similarity(s, b) > 0.5
+
+    def test_cosine_bounds(self):
+        a = _vec(0, 32)
+        assert np.isclose(ops.cosine_similarity(a, a), 1.0)
+        assert np.isclose(ops.cosine_similarity(a, -a), -1.0)
+
+    def test_dot_similarity(self):
+        a = np.array([1.0, 2.0])
+        b = np.array([3.0, 4.0])
+        assert ops.dot_similarity(a, b) == pytest.approx(11.0)
+
+    def test_random_vectors_quasi_orthogonal(self):
+        d = 4096
+        a = ops.random_vector(d, rng=0)
+        b = ops.random_vector(d, rng=1)
+        assert abs(ops.cosine_similarity(a, b)) < 0.1
+
+
+class TestPermute:
+    def test_roll(self):
+        v = np.array([1.0, 2.0, 3.0])
+        assert np.allclose(ops.permute_blocks(v, 1), [3.0, 1.0, 2.0])
+
+    def test_inverse(self):
+        v = _vec(0, 10)
+        assert np.allclose(ops.permute_blocks(ops.permute_blocks(v, 3), -3), v)

@@ -1,0 +1,69 @@
+"""Unit tests for the resonator factorization network."""
+
+import pytest
+
+from repro.errors import ShapeError
+from repro.vsa import Codebook, ResonatorNetwork
+from repro.vsa.blockcode import BlockCodeVector
+
+
+@pytest.fixture(scope="module")
+def factor_codebooks():
+    return [
+        Codebook.random("color", ["red", "green", "blue"], 4, 512, rng=0),
+        Codebook.random("shape", ["circle", "square", "star"], 4, 512, rng=1),
+        Codebook.random("size", ["small", "large"], 4, 512, rng=2),
+    ]
+
+
+class TestResonator:
+    def test_recovers_bound_factors(self, factor_codebooks):
+        color, shape, size = factor_codebooks
+        composite = color["green"].bind(shape["star"]).bind(size["small"])
+        net = ResonatorNetwork(factor_codebooks)
+        result = net.factorize(composite)
+        assert result.labels == ["green", "star", "small"]
+        assert result.converged
+
+    def test_all_combinations_recoverable(self, factor_codebooks):
+        net = ResonatorNetwork(factor_codebooks)
+        color, shape, size = factor_codebooks
+        hits = 0
+        total = 0
+        for c in color.labels:
+            for s in shape.labels:
+                for z in size.labels:
+                    composite = color[c].bind(shape[s]).bind(size[z])
+                    result = net.factorize(composite)
+                    hits += result.labels == [c, s, z]
+                    total += 1
+        assert hits / total > 0.9
+
+    def test_iterations_bounded(self, factor_codebooks):
+        net = ResonatorNetwork(factor_codebooks, max_iterations=3)
+        color, shape, size = factor_codebooks
+        composite = color["red"].bind(shape["circle"]).bind(size["large"])
+        result = net.factorize(composite)
+        assert result.iterations <= 3
+        assert len(result.history) == result.iterations
+
+    def test_shape_mismatch_rejected(self, factor_codebooks):
+        import numpy as np
+
+        net = ResonatorNetwork(factor_codebooks)
+        with pytest.raises(ShapeError):
+            net.factorize(BlockCodeVector(np.zeros((2, 99))))
+
+    def test_empty_codebooks_rejected(self):
+        with pytest.raises(ShapeError):
+            ResonatorNetwork([])
+
+    def test_mismatched_codebook_shapes_rejected(self):
+        a = Codebook.random("a", ["x"], 2, 64, rng=0)
+        b = Codebook.random("b", ["y"], 2, 128, rng=1)
+        with pytest.raises(ShapeError):
+            ResonatorNetwork([a, b])
+
+    def test_flops_accounting_positive(self, factor_codebooks):
+        net = ResonatorNetwork(factor_codebooks)
+        assert net.flops_per_iteration() > 0

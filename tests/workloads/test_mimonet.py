@@ -1,0 +1,96 @@
+"""Unit tests for MIMONet (superposition workload)."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import generate_relational_dataset
+from repro.errors import ConfigError
+from repro.trace.opnode import ExecutionUnit, OpDomain
+from repro.workloads.mimonet import MimoNetConfig, MimoNetWorkload
+
+
+@pytest.fixture(scope="module")
+def small_mimo():
+    return MimoNetWorkload(
+        MimoNetConfig(image_size=32, cnn_width=8, cnn_depth=2, superposition=2, seed=0)
+    )
+
+
+@pytest.fixture(scope="module")
+def items():
+    return generate_relational_dataset("cvr", 40, image_size=32, seed=0)
+
+
+class TestSuperposition:
+    def test_recover_beats_crosstalk(self, small_mimo, items):
+        """Unbinding a slot recovers that slot's image above crosstalk."""
+        group = items[:2]
+        sup = small_mimo.superpose(group)
+        for slot, item in enumerate(group):
+            rec = small_mimo.recover(sup, slot).reshape(-1)
+            target = item.image.reshape(-1)
+            other = group[1 - slot].image.reshape(-1)
+            sim_target = np.dot(rec, target) / (
+                np.linalg.norm(rec) * np.linalg.norm(target) + 1e-12
+            )
+            sim_other = np.dot(rec, other) / (
+                np.linalg.norm(rec) * np.linalg.norm(other) + 1e-12
+            )
+            assert sim_target > sim_other
+            assert sim_target > 0.5
+
+    def test_wrong_group_size_rejected(self, small_mimo, items):
+        with pytest.raises(ConfigError):
+            small_mimo.superpose(items[:3])
+
+    def test_bad_slot_rejected(self, small_mimo, items):
+        sup = small_mimo.superpose(items[:2])
+        with pytest.raises(ConfigError):
+            small_mimo.recover(sup, 5)
+
+    def test_retrieval_identifies_payloads(self, small_mimo, items):
+        """Computation in superposition: each slot's payload is
+        re-identifiable against a 40-item library."""
+        groups = [items[2 * i : 2 * i + 2] for i in range(10)]
+        acc = small_mimo.retrieval_accuracy(groups, items)
+        assert acc >= 0.9
+
+    def test_retrieve_rejects_foreign_items(self, small_mimo, items):
+        foreign = generate_relational_dataset("cvr", 2, image_size=32, seed=99)
+        with pytest.raises(ConfigError):
+            small_mimo.retrieval_accuracy([foreign], items)
+
+    def test_classify_requires_prototypes(self, items):
+        fresh = MimoNetWorkload(
+            MimoNetConfig(image_size=32, cnn_width=8, cnn_depth=2, seed=1)
+        )
+        with pytest.raises(ConfigError):
+            fresh.classify_recovered(items[:2])
+
+
+class TestTrace:
+    def test_single_cnn_pass_over_superposition(self, small_mimo):
+        """MIMONet's point: one CNN pass regardless of superposition width."""
+        trace = small_mimo.build_trace()
+        convs = [op for op in trace if op.kind == "conv2d"]
+        cfg = small_mimo.config
+        assert len(convs) == cfg.cnn_depth
+
+    def test_neural_dominates_flops(self):
+        trace = MimoNetWorkload(MimoNetConfig()).build_trace()
+        nf = trace.total_flops(OpDomain.NEURAL)
+        sf = trace.total_flops(OpDomain.SYMBOLIC)
+        assert sf / (nf + sf) < 0.15
+
+    def test_bind_unbind_pairs(self, small_mimo):
+        trace = small_mimo.build_trace()
+        binds = [op for op in trace if op.kind == "binding_circular"]
+        unbinds = [op for op in trace if op.kind == "inv_binding_circular"]
+        k = small_mimo.config.superposition
+        assert len(binds) == k
+        assert len(unbinds) == k
+
+    def test_memory_accounting(self, small_mimo):
+        ce = small_mimo.component_elements()
+        assert ce["neural"] > 0
+        assert ce["symbolic"] == small_mimo.config.superposition * 32 * 32

@@ -1,0 +1,125 @@
+"""Unit tests for the NVSA workload (solver, trace, memory accounting)."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import generate_dataset, make_spec
+from repro.errors import ConfigError
+from repro.quant import MIXED_PRECISION_PRESETS, Precision
+from repro.trace.opnode import ExecutionUnit, OpDomain
+from repro.workloads.nvsa import NvsaConfig, NvsaWorkload, PerceptionModel
+
+
+class TestPerceptionModel:
+    def test_pmf_is_distribution(self):
+        pm = PerceptionModel(4.0, 0.5, Precision.FP32, rng=0)
+        pmf = pm.pmf(7, 3)
+        assert pmf.shape == (7,)
+        assert pmf.sum() == pytest.approx(1.0)
+        assert np.all(pmf >= 0)
+
+    def test_low_noise_peaks_on_truth(self):
+        pm = PerceptionModel(6.0, 0.1, Precision.FP32, rng=0)
+        hits = sum(int(np.argmax(pm.pmf(9, 4))) == 4 for _ in range(50))
+        assert hits == 50
+
+    def test_quantization_raises_effective_noise(self):
+        base = PerceptionModel(4.0, 0.5, Precision.FP32).effective_noise
+        int4 = PerceptionModel(4.0, 0.5, Precision.INT4).effective_noise
+        int8 = PerceptionModel(4.0, 0.5, Precision.INT8).effective_noise
+        assert base < int8 < int4
+
+    def test_out_of_range_value_rejected(self):
+        pm = PerceptionModel(4.0, 0.5, Precision.FP32, rng=0)
+        with pytest.raises(ConfigError):
+            pm.pmf(5, 5)
+
+    def test_invalid_params(self):
+        with pytest.raises(ConfigError):
+            PerceptionModel(0.0, 0.5, Precision.FP32)
+        with pytest.raises(ConfigError):
+            PerceptionModel(1.0, -0.1, Precision.FP32)
+
+
+class TestSolver:
+    def test_fp32_accuracy_high_on_raven(self, small_nvsa, raven_problems):
+        assert small_nvsa.accuracy(raven_problems) >= 0.8
+
+    def test_int4_symbolic_still_works(self, raven_problems, small_nvsa_config):
+        from dataclasses import replace
+
+        cfg = replace(small_nvsa_config, precision=MIXED_PRECISION_PRESETS["MP"])
+        wl = NvsaWorkload(cfg)
+        assert wl.accuracy(raven_problems) >= 0.6
+
+    def test_accuracy_needs_problems(self, small_nvsa):
+        with pytest.raises(ConfigError):
+            small_nvsa.accuracy([])
+
+    def test_solve_returns_valid_index(self, small_nvsa, raven_problems):
+        for p in raven_problems[:4]:
+            assert 0 <= small_nvsa.solve_problem(p) < len(p.candidates)
+
+
+class TestTrace:
+    def test_structure(self, small_nvsa_trace):
+        assert small_nvsa_trace.workload == "nvsa"
+        assert small_nvsa_trace.external_inputs == ["%panels"]
+        units = {op.unit for op in small_nvsa_trace}
+        assert ExecutionUnit.ARRAY_NN in units
+        assert ExecutionUnit.ARRAY_VSA in units
+        assert ExecutionUnit.SIMD in units
+
+    def test_deployment_scale_symbolic_flop_share(self):
+        """Paper: NVSA symbolic contributes ~19% of total FLOPS."""
+        trace = NvsaWorkload(NvsaConfig()).build_trace()
+        nf = trace.total_flops(OpDomain.NEURAL)
+        sf = trace.total_flops(OpDomain.SYMBOLIC)
+        assert 0.14 < sf / (nf + sf) < 0.25
+
+    def test_vsa_nodes_are_parallel_fanout(self, small_nvsa_trace):
+        """Per-rule VSA kernels hang directly off encodes, not each other."""
+        vsa_ops = small_nvsa_trace.by_unit(ExecutionUnit.ARRAY_VSA)
+        assert len(vsa_ops) > 10
+        vsa_names = {op.name for op in vsa_ops}
+        for op in vsa_ops:
+            assert not (set(op.inputs) & vsa_names)
+
+    def test_dictionary_lookup_is_gemm(self, small_nvsa_trace):
+        dict_ops = [
+            op for op in small_nvsa_trace if op.params.get("dictionary")
+        ]
+        assert dict_ops
+        assert all(op.unit is ExecutionUnit.ARRAY_NN for op in dict_ops)
+        assert all(op.gemm is not None for op in dict_ops)
+
+
+class TestMemoryAccounting:
+    def test_table4_sizing_matches_paper_band(self):
+        """Width-32 frontend + 1250-atom dictionary ≈ the paper's 32 MB."""
+        wl = NvsaWorkload(NvsaConfig.table4())
+        ce = wl.component_elements()
+        fp32_mb = (ce["neural"] + ce["symbolic"]) * 4 / 2**20
+        assert 29 < fp32_mb < 35
+
+    def test_symbolic_dominated_by_dictionary(self):
+        wl = NvsaWorkload(NvsaConfig.table4())
+        ce = wl.component_elements()
+        dict_elems = wl.config.dictionary_atoms * wl.config.vector_elements
+        assert dict_elems / ce["symbolic"] > 0.9
+
+
+class TestConfigValidation:
+    def test_bad_batch(self):
+        with pytest.raises(ConfigError):
+            NvsaConfig(batch_panels=1)
+
+    def test_bad_blocks(self):
+        with pytest.raises(ConfigError):
+            NvsaConfig(blocks=0)
+
+    def test_table4_overrides(self):
+        cfg = NvsaConfig.table4(dataset="pgm", block_dim=256)
+        assert cfg.dataset == "pgm"
+        assert cfg.block_dim == 256
+        assert cfg.resnet_width == 32

@@ -1,0 +1,72 @@
+"""Unit tests for the symbolic-ratio-parameterized workload (Fig. 6)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import ConfigError
+from repro.trace.opnode import ExecutionUnit
+from repro.workloads.scaling import ScalableConfig, ScalableNsaiWorkload
+
+
+def _small(ratio: float, **kw) -> ScalableNsaiWorkload:
+    defaults = dict(
+        image_size=32, batch_panels=1, resnet_width=8,
+        vector_dim=128, blocks=2, symbolic_ratio=ratio,
+    )
+    defaults.update(kw)
+    return ScalableNsaiWorkload(ScalableConfig(**defaults))
+
+
+class TestSizing:
+    @given(st.floats(0.02, 0.85))
+    @settings(max_examples=25, deadline=None)
+    def test_achieved_ratio_tracks_request(self, ratio):
+        wl = _small(ratio)
+        assert wl.achieved_symbolic_ratio == pytest.approx(ratio, abs=0.05)
+
+    def test_zero_ratio_means_no_vectors(self):
+        wl = _small(0.0)
+        assert wl.n_symbolic_vectors == 0
+        assert wl.achieved_symbolic_ratio == 0.0
+
+    def test_ratio_monotone_in_vectors(self):
+        counts = [_small(r).n_symbolic_vectors for r in (0.1, 0.3, 0.5, 0.7)]
+        assert counts == sorted(counts)
+        assert counts[0] < counts[-1]
+
+    def test_symbolic_scale_multiplies(self):
+        base = _small(0.2).n_symbolic_vectors
+        scaled = _small(0.2, symbolic_scale=150.0).n_symbolic_vectors
+        assert scaled == pytest.approx(150 * base, rel=0.05)
+
+    def test_invalid_ratio_rejected(self):
+        with pytest.raises(ConfigError):
+            ScalableConfig(symbolic_ratio=1.0)
+        with pytest.raises(ConfigError):
+            ScalableConfig(symbolic_ratio=-0.1)
+
+
+class TestTrace:
+    def test_zero_ratio_trace_is_pure_nn(self):
+        trace = _small(0.0).build_trace()
+        assert not trace.by_unit(ExecutionUnit.ARRAY_VSA)
+
+    def test_symbolic_groups_parallel(self):
+        """All VSA groups depend only on the frontend tail — parallelism
+        the AdArray folding exploits."""
+        trace = _small(0.4).build_trace()
+        vsa_ops = trace.by_unit(ExecutionUnit.ARRAY_VSA)
+        assert vsa_ops
+        vsa_names = {op.name for op in vsa_ops}
+        for op in vsa_ops:
+            assert not (set(op.inputs) & vsa_names)
+
+    def test_trace_grows_with_ratio(self):
+        small = len(_small(0.1).build_trace())
+        large = len(_small(0.6).build_trace())
+        assert large > small
+
+    def test_component_elements(self):
+        wl = _small(0.3)
+        ce = wl.component_elements()
+        assert ce["symbolic"] == wl.n_symbolic_vectors * wl.config.vector_elements
