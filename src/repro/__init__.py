@@ -19,7 +19,7 @@ end-to-end framework).
 
 from .errors import NSFlowError
 from .flow import NSFlow, CompiledDesign
-from .dse import DesignConfig, TwoPhaseDSE
+from .dse import DesignConfig, DseEngine, TwoPhaseDSE
 from .quant import MixedPrecisionConfig, MIXED_PRECISION_PRESETS, Precision
 from .workloads import available_workloads, build_workload
 
@@ -30,6 +30,7 @@ __all__ = [
     "CompiledDesign",
     "DesignConfig",
     "TwoPhaseDSE",
+    "DseEngine",
     "Precision",
     "MixedPrecisionConfig",
     "MIXED_PRECISION_PRESETS",

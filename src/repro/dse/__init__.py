@@ -5,12 +5,27 @@ and sweeps the pruned ``(H, W)`` geometry space for the best parallel
 runtime, falling back to sequential mode when that wins. Phase II
 fine-tunes the per-node partition vectors around the Phase I point by
 shifting sub-arrays between each layer and the VSA nodes that overlap it.
+
+:class:`DseEngine` is the batched/parallel/cached implementation of the
+sweep: a lazy candidate stream, chunked process-pool evaluation
+(``jobs``), memoized model sub-evaluations, and a full Pareto frontier
+(latency × area × energy proxy) on ``DseReport.pareto``.
+:class:`TwoPhaseDSE` remains as the original single-winner facade.
 """
 
 from .config import DesignConfig, ExecutionMode, design_config_from_json, design_config_to_json
 from .phase1 import Phase1Result, run_phase1
 from .phase2 import Phase2Result, run_phase2
-from .explorer import DseReport, TwoPhaseDSE
+from .engine import (
+    DseEngine,
+    DseReport,
+    GeometryCandidate,
+    GeometryEval,
+    ParetoFrontier,
+    ParetoPoint,
+    pareto_filter,
+)
+from .explorer import TwoPhaseDSE
 
 __all__ = [
     "DesignConfig",
@@ -22,5 +37,11 @@ __all__ = [
     "Phase2Result",
     "run_phase2",
     "TwoPhaseDSE",
+    "DseEngine",
     "DseReport",
+    "GeometryCandidate",
+    "GeometryEval",
+    "ParetoFrontier",
+    "ParetoPoint",
+    "pareto_filter",
 ]

@@ -1,0 +1,602 @@
+"""Batched, parallel, cached Pareto exploration engine.
+
+This is the scalable successor to the serial Phase I sweep: the same
+two-phase co-exploration of paper Algorithm 1, restructured as
+
+1. a **lazy candidate stream** — :meth:`DseEngine.iter_candidates`
+   enumerates pruned ``(H, W, N)`` geometries without materializing the
+   design space;
+2. **chunked parallel evaluation** — candidates are grouped into work
+   units and scored in a ``concurrent.futures`` process pool
+   (``jobs > 1``) or in-process (``jobs == 1``); the merge is performed
+   in candidate order with strict-``<`` tie-breaking, so results are
+   **bit-identical for every value of ``jobs``**;
+3. **memoized sub-models** — memory plan and SIMD width go through the
+   keyed caches in :mod:`repro.model.cache`; layer/VSA latencies hit the
+   ``lru_cache``-backed models of :mod:`repro.model.runtime`;
+4. a **full Pareto frontier** — instead of a single winner, every
+   geometry contributes a (latency, area, energy-proxy) point and the
+   report carries the non-dominated set (:class:`ParetoFrontier`) with
+   deterministic tie-breaking (see DESIGN.md "Pareto frontier
+   semantics").
+
+:class:`repro.dse.explorer.TwoPhaseDSE` remains as a thin compatibility
+shim over this engine; its results are unchanged from the original
+serial implementation.
+"""
+
+from __future__ import annotations
+
+import functools
+import itertools
+import math
+from collections.abc import Iterator, Sequence
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+
+from ..errors import DSEError
+from ..graph.dataflow import DataflowGraph
+from ..model.cache import (
+    cached_layer_runtime,
+    cached_plan_memory,
+    cached_simd_width,
+    cached_vsa_node_runtime,
+)
+from ..model.designspace import (
+    DesignSpaceSize,
+    design_space_size,
+    hw_config_candidates,
+)
+from ..model.runtime import parallel_runtime, sequential_runtime
+from ..nn.gemm import GemmDims
+from ..quant import MIXED_PRECISION_PRESETS, MixedPrecisionConfig
+from ..trace.opnode import VsaDims
+from ..utils import is_power_of_two, log2_int
+from .config import DesignConfig, ExecutionMode
+from .phase1 import Phase1Result, extract_cost_dims
+from .phase2 import Phase2Result, run_phase2
+
+__all__ = [
+    "GeometryCandidate",
+    "GeometryEval",
+    "ParetoPoint",
+    "ParetoFrontier",
+    "DseReport",
+    "DseEngine",
+    "pareto_filter",
+    "area_pe_equiv",
+]
+
+
+@dataclass(frozen=True)
+class GeometryCandidate:
+    """One point of the lazy geometry stream: ``(H, W, N)`` plus its rank.
+
+    ``index`` is the candidate's position in enumeration order; the merge
+    step uses it to reproduce the serial sweep's first-wins tie-breaking
+    regardless of how candidates were chunked across workers.
+    """
+
+    index: int
+    h: int
+    w: int
+    n_sub: int
+
+    @property
+    def total_pes(self) -> int:
+        return self.h * self.w * self.n_sub
+
+
+@dataclass(frozen=True)
+class GeometryEval:
+    """Scores of one geometry: best static partition + sequential schedule."""
+
+    index: int
+    h: int
+    w: int
+    n_sub: int
+    t_sequential: int
+    t_parallel: int
+    nl_bar: int
+    nv_bar: int
+    evaluated: int   # model evaluations spent on this geometry
+
+    @property
+    def best_cycles(self) -> int:
+        return min(self.t_sequential, self.t_parallel)
+
+    @property
+    def mode(self) -> ExecutionMode:
+        """Per-point mode under the engine's tie-breaking (parallel on tie)."""
+        if self.t_sequential < self.t_parallel:
+            return ExecutionMode.SEQUENTIAL
+        return ExecutionMode.PARALLEL
+
+    @property
+    def total_pes(self) -> int:
+        return self.h * self.w * self.n_sub
+
+
+#: Periphery cost per sub-array edge cell, in PE-equivalents: input skew
+#: registers along the W edge and accumulate/drain cells along the H edge
+#: (the Fig. 3 passing-register columns). Folding the array into many
+#: small sub-arrays multiplies this periphery.
+PERIPHERY_PE_EQUIV = 1
+#: Fixed per-sub-array control overhead (FSM, partition mux) in
+#: PE-equivalents.
+SUBARRAY_PE_EQUIV = 8
+
+
+def area_pe_equiv(h: int, w: int, n_sub: int) -> int:
+    """Area proxy of an ``(H, W, N)`` AdArray, in PE-equivalents.
+
+    ``H·W·N`` PEs plus per-sub-array periphery and control: every one of
+    the ``N`` sub-arrays pays ``H + W`` edge cells and a fixed controller
+    slice. Since ``H·W·N`` equals the power-of-two PE budget for every
+    candidate, the overhead terms are what differentiate geometries —
+    many small sub-arrays buy schedule flexibility (latency) with real
+    periphery area.
+    """
+    return (
+        h * w * n_sub
+        + n_sub * (h + w) * PERIPHERY_PE_EQUIV
+        + n_sub * SUBARRAY_PE_EQUIV
+    )
+
+
+@dataclass(frozen=True)
+class ParetoPoint:
+    """One frontier point in the latency × area × energy objective space.
+
+    * ``cycles`` — estimated runtime of the geometry's best schedule;
+    * ``area`` — PE-equivalents including per-sub-array periphery
+      (:func:`area_pe_equiv`);
+    * ``energy_proxy`` — ``cycles × area`` (area-cycles switched).
+    """
+
+    h: int
+    w: int
+    n_sub: int
+    mode: ExecutionMode
+    nl_bar: int
+    nv_bar: int
+    cycles: int
+    area: int
+    energy_proxy: int
+
+    @property
+    def geometry(self) -> tuple[int, int, int]:
+        return (self.h, self.w, self.n_sub)
+
+    @property
+    def total_pes(self) -> int:
+        return self.h * self.w * self.n_sub
+
+    @property
+    def objectives(self) -> tuple[int, int, int]:
+        """The minimized objective vector (latency, area, energy)."""
+        return (self.cycles, self.area, self.energy_proxy)
+
+    def latency_s(self, clock_mhz: float) -> float:
+        return self.cycles / (clock_mhz * 1e6)
+
+
+@dataclass(frozen=True)
+class ParetoFrontier:
+    """Non-dominated design points, sorted by ascending latency.
+
+    ``geometries_evaluated`` counts the candidate geometries scored,
+    ``non_dominated`` the size of the full frontier, and ``dominated``
+    everything off it — strictly dominated points plus exact-objective
+    duplicates dropped by the deterministic tie-break —
+    so ``geometries_evaluated == non_dominated + dominated`` always.
+    ``pareto_k`` truncation only shortens ``points``
+    (``len(frontier) <= non_dominated``); it never rewrites the
+    accounting.
+    """
+
+    points: tuple[ParetoPoint, ...]
+    geometries_evaluated: int
+    non_dominated: int
+    dominated: int
+
+    def __len__(self) -> int:
+        return len(self.points)
+
+    def __iter__(self) -> Iterator[ParetoPoint]:
+        return iter(self.points)
+
+    def __bool__(self) -> bool:
+        return bool(self.points)
+
+    @property
+    def best_latency(self) -> ParetoPoint:
+        """The frontier's latency-optimal point (the classic DSE winner)."""
+        if not self.points:
+            raise DSEError("empty Pareto frontier")
+        return self.points[0]
+
+
+@dataclass(frozen=True)
+class DseReport:
+    """Everything the DSE learned on the way to its design."""
+
+    config: DesignConfig
+    phase1: Phase1Result
+    phase2: Phase2Result
+    space: DesignSpaceSize
+    pareto: ParetoFrontier | None = None
+
+    @property
+    def phase2_gain(self) -> float:
+        """Fractional runtime gain of Phase II over Phase I (Fig. 6 line)."""
+        return self.phase2.gain_over(self.phase1.t_parallel)
+
+
+def _dominates(a: ParetoPoint, b: ParetoPoint) -> bool:
+    """True when ``a`` is no worse than ``b`` everywhere and better somewhere."""
+    ao, bo = a.objectives, b.objectives
+    return all(x <= y for x, y in zip(ao, bo)) and ao != bo
+
+
+def pareto_filter(points: Sequence[ParetoPoint]) -> list[ParetoPoint]:
+    """Non-dominated subset of ``points``, deterministically ordered.
+
+    Points are sorted by (latency, area, energy, H, W) ascending; exact
+    objective ties keep the first point in that order (lowest ``H``, then
+    ``W``), so the frontier is a pure function of the candidate set.
+    """
+    ordered = sorted(
+        points, key=lambda p: (*p.objectives, p.h, p.w, p.n_sub)
+    )
+    frontier: list[ParetoPoint] = []
+    seen: set[tuple[int, int, int]] = set()
+    for p in ordered:
+        if p.objectives in seen:
+            continue
+        if any(_dominates(q, p) for q in frontier):
+            continue
+        seen.add(p.objectives)
+        frontier.append(p)
+    return frontier
+
+
+def _evaluate_geometry(
+    cand: GeometryCandidate,
+    layers: tuple[GemmDims, ...],
+    vsa_nodes: tuple[VsaDims, ...],
+) -> GeometryEval:
+    """Score one geometry exactly as the serial Phase I sweep does.
+
+    The inner static-partition loop runs ``N̄l`` ascending with strict-``<``
+    updates, so the per-geometry winner matches the serial sweep bit for
+    bit; the cross-geometry merge happens in :meth:`DseEngine.evaluate`.
+    """
+    h, w, n_sub = cand.h, cand.w, cand.n_sub
+    t_seq = int(sequential_runtime(h, w, n_sub, layers, vsa_nodes))
+    evaluated = 1
+    if vsa_nodes:
+        best: tuple[int, int, int] | None = None
+        nl_vec = [0] * len(layers)
+        nv_vec = [0] * len(vsa_nodes)
+        for nl_bar in range(1, n_sub):
+            nv_bar = n_sub - nl_bar
+            for i in range(len(nl_vec)):
+                nl_vec[i] = nl_bar
+            for j in range(len(nv_vec)):
+                nv_vec[j] = nv_bar
+            t_para = parallel_runtime(h, w, nl_vec, nv_vec, layers, vsa_nodes)
+            evaluated += 1
+            if best is None or t_para < best[0]:
+                best = (int(t_para), nl_bar, nv_bar)
+        assert best is not None  # n_sub >= 2 guarantees one iteration
+        t_par, nl_bar, nv_bar = best
+    else:
+        # No VSA nodes: "parallel" degenerates to whole-array NN.
+        t_par, nl_bar, nv_bar = t_seq, n_sub, 0
+    return GeometryEval(
+        index=cand.index,
+        h=h,
+        w=w,
+        n_sub=n_sub,
+        t_sequential=t_seq,
+        t_parallel=t_par,
+        nl_bar=nl_bar,
+        nv_bar=nv_bar,
+        evaluated=evaluated,
+    )
+
+
+def _evaluate_chunk(
+    chunk: tuple[GeometryCandidate, ...],
+    layers: tuple[GemmDims, ...],
+    vsa_nodes: tuple[VsaDims, ...],
+) -> list[GeometryEval]:
+    """Process-pool work unit: score a batch of geometries."""
+    return [_evaluate_geometry(c, layers, vsa_nodes) for c in chunk]
+
+
+class DseEngine:
+    """Parallel Pareto design-space exploration (Algorithm 1, batched).
+
+    Parameters
+    ----------
+    max_pes:
+        The PE budget ``M`` (a power of two; set from the FPGA's DSP
+        budget by :mod:`repro.arch.resources`).
+    precision:
+        Mixed-precision deployment config (affects memory sizing only;
+        the cycle models are precision-independent as in the paper).
+    iter_max:
+        Phase II iteration cap (``Iter_max``).
+    jobs:
+        Worker processes for the geometry sweep. ``1`` (default) runs
+        serially in-process — no pool, no pickling. Results are
+        bit-identical for every value of ``jobs``.
+    chunk_size:
+        Geometries per pool work unit. ``None`` (default) deals
+        candidates round-robin by descending cost into ``4 · jobs``
+        balanced chunks; an explicit size takes contiguous runs in
+        candidate order instead. Chunking never affects results.
+    pareto_k:
+        Keep only the ``k`` lowest-latency frontier points in the
+        report (``None`` or ``0`` keeps the full frontier, matching the
+        CLI's ``--pareto-k 0`` convention).
+    """
+
+    def __init__(
+        self,
+        max_pes: int = 8192,
+        precision: MixedPrecisionConfig | None = None,
+        iter_max: int = 8,
+        range_h: tuple[int, int] = (4, 256),
+        range_w: tuple[int, int] = (4, 256),
+        clock_mhz: float = 272.0,
+        jobs: int = 1,
+        chunk_size: int | None = None,
+        pareto_k: int | None = None,
+        aspect_min: float = 0.25,
+        aspect_max: float = 16.0,
+    ):
+        if not is_power_of_two(max_pes):
+            raise DSEError(f"max_pes must be a power of two, got {max_pes}")
+        if jobs < 1:
+            raise DSEError(f"jobs must be >= 1, got {jobs}")
+        if chunk_size is not None and chunk_size < 1:
+            raise DSEError(f"chunk_size must be >= 1, got {chunk_size}")
+        if pareto_k == 0:
+            pareto_k = None
+        if pareto_k is not None and pareto_k < 1:
+            raise DSEError(f"pareto_k must be >= 0, got {pareto_k}")
+        self.max_pes = max_pes
+        self.precision = precision or MIXED_PRECISION_PRESETS["MP"]
+        self.iter_max = iter_max
+        self.range_h = range_h
+        self.range_w = range_w
+        self.clock_mhz = clock_mhz
+        self.jobs = jobs
+        self.chunk_size = chunk_size
+        self.pareto_k = pareto_k
+        self.aspect_min = aspect_min
+        self.aspect_max = aspect_max
+
+    # -- candidate stream ------------------------------------------------------
+
+    def iter_candidates(self) -> Iterator[GeometryCandidate]:
+        """Lazily enumerate feasible pruned geometries in sweep order."""
+        m = log2_int(self.max_pes)
+        index = 0
+        for h, w in hw_config_candidates(m, self.aspect_min, self.aspect_max,
+                                         prune=True):
+            if not (self.range_h[0] <= h <= self.range_h[1]
+                    and self.range_w[0] <= w <= self.range_w[1]):
+                continue
+            n_sub = self.max_pes // (h * w)
+            if n_sub < 2:
+                continue
+            yield GeometryCandidate(index=index, h=h, w=w, n_sub=n_sub)
+            index += 1
+
+    def _make_chunks(
+        self, candidates: Sequence[GeometryCandidate]
+    ) -> list[tuple[GeometryCandidate, ...]]:
+        """Group candidates into pool work units.
+
+        Per-geometry cost is dominated by the static-partition loop
+        (``N − 1`` evaluations), so small sub-arrays are far more
+        expensive than large ones. The default strategy sorts by
+        descending ``N`` and deals candidates round-robin into
+        ``4 · jobs`` chunks, so every chunk carries a comparable mix of
+        heavy and light geometries. An explicit ``chunk_size`` instead
+        takes contiguous runs in candidate order. Either way the merge
+        is keyed on candidate index, so chunking never affects results.
+        """
+        if self.chunk_size is not None:
+            it = iter(candidates)
+            chunks = []
+            while chunk := tuple(itertools.islice(it, self.chunk_size)):
+                chunks.append(chunk)
+            return chunks
+        by_cost = sorted(candidates, key=lambda c: (-c.n_sub, c.index))
+        n_chunks = max(1, min(len(candidates), 4 * self.jobs))
+        return [tuple(by_cost[i::n_chunks]) for i in range(n_chunks)]
+
+    # -- evaluation ------------------------------------------------------------
+
+    def evaluate(self, graph: DataflowGraph) -> list[GeometryEval]:
+        """Score every candidate geometry, serially or in a process pool.
+
+        The returned list is in candidate order independent of ``jobs``
+        and chunking: pool results are re-sorted by candidate index
+        before returning.
+        """
+        layer_list, vsa_list = extract_cost_dims(graph)
+        layers = tuple(layer_list)
+        vsa_nodes = tuple(vsa_list)
+        candidates = list(self.iter_candidates())
+        if not candidates:
+            raise DSEError(
+                f"no feasible geometry for max_pes={self.max_pes} within "
+                f"H range {self.range_h}, W range {self.range_w}"
+            )
+        if self.jobs == 1:
+            return [_evaluate_geometry(c, layers, vsa_nodes) for c in candidates]
+        work = functools.partial(
+            _evaluate_chunk, layers=layers, vsa_nodes=vsa_nodes
+        )
+        with ProcessPoolExecutor(max_workers=self.jobs) as pool:
+            chunk_results = pool.map(work, self._make_chunks(candidates))
+            evals = [ev for chunk in chunk_results for ev in chunk]
+        return sorted(evals, key=lambda e: e.index)
+
+    @staticmethod
+    def _reduce_phase1(evals: Sequence[GeometryEval]) -> Phase1Result:
+        """Merge per-geometry winners into the serial sweep's Phase I result.
+
+        Strict-``<`` updates in candidate order reproduce the serial
+        first-wins semantics exactly (DESIGN.md "Parallel determinism").
+        """
+        best_para: GeometryEval | None = None
+        best_seq: GeometryEval | None = None
+        evaluated = 0
+        for ev in sorted(evals, key=lambda e: e.index):
+            evaluated += ev.evaluated
+            if best_seq is None or ev.t_sequential < best_seq.t_sequential:
+                best_seq = ev
+            if best_para is None or ev.t_parallel < best_para.t_parallel:
+                best_para = ev
+        assert best_para is not None and best_seq is not None
+        return Phase1Result(
+            h=best_para.h,
+            w=best_para.w,
+            n_sub=best_para.n_sub,
+            nl_bar=best_para.nl_bar,
+            nv_bar=best_para.nv_bar,
+            t_parallel=best_para.t_parallel,
+            seq_h=best_seq.h,
+            seq_w=best_seq.w,
+            seq_n_sub=best_seq.n_sub,
+            t_sequential=best_seq.t_sequential,
+            candidates_evaluated=evaluated,
+        )
+
+    def _frontier(self, evals: Sequence[GeometryEval]) -> ParetoFrontier:
+        points = []
+        for ev in evals:
+            cycles = ev.best_cycles
+            area = area_pe_equiv(ev.h, ev.w, ev.n_sub)
+            points.append(ParetoPoint(
+                h=ev.h,
+                w=ev.w,
+                n_sub=ev.n_sub,
+                mode=ev.mode,
+                nl_bar=ev.nl_bar,
+                nv_bar=ev.nv_bar,
+                cycles=cycles,
+                area=area,
+                energy_proxy=cycles * area,
+            ))
+        frontier = pareto_filter(points)
+        non_dominated = len(frontier)
+        if self.pareto_k is not None:
+            frontier = frontier[: self.pareto_k]
+        return ParetoFrontier(
+            points=tuple(frontier),
+            geometries_evaluated=len(evals),
+            non_dominated=non_dominated,
+            dominated=len(points) - non_dominated,
+        )
+
+    # -- full exploration ------------------------------------------------------
+
+    def explore(self, graph: DataflowGraph) -> DseReport:
+        """Run the batched sweep, Phase II refinement, and frontier assembly.
+
+        The sequential fallback is compared against the *refined* parallel
+        runtime: Phase II is what exposes parallel mode's granularity
+        advantage, so deciding the mode before refinement would be biased
+        toward sequential (DESIGN.md "Interpretation notes").
+        """
+        evals = self.evaluate(graph)
+        phase1 = self._reduce_phase1(evals)
+        phase2 = run_phase2(graph, phase1, self.iter_max)
+        if phase1.t_sequential < phase2.t_parallel:
+            mode = ExecutionMode.SEQUENTIAL
+            best_cycles = phase1.t_sequential
+            geometry = (phase1.seq_h, phase1.seq_w, phase1.seq_n_sub)
+            # Whole array for each unit in turn.
+            nl = tuple([geometry[2]] * len(graph.layer_nodes))
+            nv = tuple([geometry[2]] * len(graph.vsa_nodes))
+        else:
+            mode = ExecutionMode.PARALLEL
+            best_cycles = phase2.t_parallel
+            geometry = (phase1.h, phase1.w, phase1.n_sub)
+            nl, nv = phase2.nl, phase2.nv
+
+        memory = cached_plan_memory(graph, self.precision)
+        simd = cached_simd_width(
+            graph,
+            max(best_cycles, 1),
+            self._array_node_cycles(graph, geometry, mode, nl, nv),
+        )
+        n_vsa = max(len(graph.vsa_nodes), 1)
+        space = design_space_size(
+            m=int(math.log2(self.max_pes)),
+            n_layer_nodes=max(len(graph.layer_nodes), 1),
+            n_vsa_nodes=n_vsa,
+            iter_max=self.iter_max,
+        )
+        config = DesignConfig(
+            workload=graph.workload,
+            h=geometry[0],
+            w=geometry[1],
+            n_sub=geometry[2],
+            nl=nl,
+            nv=nv,
+            nl_bar=phase1.nl_bar,
+            nv_bar=phase1.nv_bar,
+            mode=mode,
+            simd_width=simd,
+            memory=memory,
+            precision=self.precision,
+            clock_mhz=self.clock_mhz,
+            estimated_cycles=int(best_cycles),
+            extras={
+                "phase1_cycles": phase1.t_parallel,
+                "sequential_cycles": phase1.t_sequential,
+                "phase2_gain": phase2.gain_over(phase1.t_parallel)
+                if phase1.t_parallel > 0
+                else 0.0,
+                "candidates_evaluated": phase1.candidates_evaluated,
+            },
+        )
+        return DseReport(
+            config=config,
+            phase1=phase1,
+            phase2=phase2,
+            space=space,
+            pareto=self._frontier(evals),
+        )
+
+    @staticmethod
+    def _array_node_cycles(
+        graph: DataflowGraph,
+        geometry: tuple[int, int, int],
+        mode: ExecutionMode,
+        nl: tuple[int, ...],
+        nv: tuple[int, ...],
+    ) -> dict[str, int]:
+        """Per-array-node cycle estimates for the SIMD-width fusion rule."""
+        h, w, n_sub = geometry
+        cycles: dict[str, int] = {}
+        for i, node in enumerate(graph.layer_nodes):
+            alloc = n_sub if mode is ExecutionMode.SEQUENTIAL else nl[i]
+            assert node.gemm is not None
+            cycles[node.name] = cached_layer_runtime(h, w, alloc, node.gemm)
+        for j, node in enumerate(graph.vsa_nodes):
+            alloc = n_sub if mode is ExecutionMode.SEQUENTIAL else nv[j]
+            assert node.vsa is not None
+            cycles[node.name] = cached_vsa_node_runtime(
+                h, w, alloc, node.vsa, "best"
+            )
+        return cycles

@@ -1,46 +1,25 @@
 """Two-phase DSE orchestration: trace/graph in, DesignConfig out.
 
-This is the frontend's "HW-Mapping Co-explore" stage (paper Fig. 2): run
-Phase I over the pruned geometry space, refine with Phase II, size the
-memory blocks and SIMD unit from the dataflow graph, and emit the design
-configuration the backend instantiates.
+This is the frontend's "HW-Mapping Co-explore" stage (paper Fig. 2). The
+actual exploration lives in :mod:`repro.dse.engine`; :class:`TwoPhaseDSE`
+is kept as a thin compatibility shim so existing callers keep their
+original single-winner API. The engine's serial path reproduces the
+historical serial sweep bit for bit, so results through this shim are
+unchanged — they just also carry the Pareto frontier on
+``report.pareto``.
 """
 
 from __future__ import annotations
 
-import math
-from dataclasses import dataclass
-
-from ..errors import DSEError
 from ..graph.dataflow import DataflowGraph
-from ..model.designspace import DesignSpaceSize, design_space_size
-from ..model.memory import plan_memory, simd_width
-from ..quant import MixedPrecisionConfig, MIXED_PRECISION_PRESETS
-from ..utils import is_power_of_two
-from .config import DesignConfig, ExecutionMode
-from .phase1 import Phase1Result, run_phase1
-from .phase2 import Phase2Result, run_phase2
+from ..quant import MixedPrecisionConfig
+from .engine import DseEngine, DseReport
 
 __all__ = ["DseReport", "TwoPhaseDSE"]
 
 
-@dataclass(frozen=True)
-class DseReport:
-    """Everything the DSE learned on the way to its design."""
-
-    config: DesignConfig
-    phase1: Phase1Result
-    phase2: Phase2Result
-    space: DesignSpaceSize
-
-    @property
-    def phase2_gain(self) -> float:
-        """Fractional runtime gain of Phase II over Phase I (Fig. 6 line)."""
-        return self.phase2.gain_over(self.phase1.t_parallel)
-
-
 class TwoPhaseDSE:
-    """Algorithm 1 end to end.
+    """Algorithm 1 end to end (compatibility front for :class:`DseEngine`).
 
     Parameters
     ----------
@@ -52,6 +31,9 @@ class TwoPhaseDSE:
         the cycle models are precision-independent as in the paper).
     iter_max:
         Phase II iteration cap (``Iter_max``).
+    jobs:
+        Worker processes for the geometry sweep (forwarded to the
+        engine; results are identical for every value).
     """
 
     def __init__(
@@ -62,99 +44,43 @@ class TwoPhaseDSE:
         range_h: tuple[int, int] = (4, 256),
         range_w: tuple[int, int] = (4, 256),
         clock_mhz: float = 272.0,
+        jobs: int = 1,
     ):
-        if not is_power_of_two(max_pes):
-            raise DSEError(f"max_pes must be a power of two, got {max_pes}")
-        self.max_pes = max_pes
-        self.precision = precision or MIXED_PRECISION_PRESETS["MP"]
-        self.iter_max = iter_max
-        self.range_h = range_h
-        self.range_w = range_w
-        self.clock_mhz = clock_mhz
+        self._engine = DseEngine(
+            max_pes=max_pes,
+            precision=precision,
+            iter_max=iter_max,
+            range_h=range_h,
+            range_w=range_w,
+            clock_mhz=clock_mhz,
+            jobs=jobs,
+        )
+
+    # Historical attributes, still part of the public surface.
+    @property
+    def max_pes(self) -> int:
+        return self._engine.max_pes
+
+    @property
+    def precision(self) -> MixedPrecisionConfig:
+        return self._engine.precision
+
+    @property
+    def iter_max(self) -> int:
+        return self._engine.iter_max
+
+    @property
+    def range_h(self) -> tuple[int, int]:
+        return self._engine.range_h
+
+    @property
+    def range_w(self) -> tuple[int, int]:
+        return self._engine.range_w
+
+    @property
+    def clock_mhz(self) -> float:
+        return self._engine.clock_mhz
 
     def explore(self, graph: DataflowGraph) -> DseReport:
-        """Run both phases and assemble the design configuration.
-
-        The sequential fallback is compared against the *refined* parallel
-        runtime: Phase II is what exposes parallel mode's granularity
-        advantage, so deciding the mode before refinement would be biased
-        toward sequential (DESIGN.md "Interpretation notes").
-        """
-        phase1 = run_phase1(
-            graph, self.max_pes, self.range_h, self.range_w
-        )
-        phase2 = run_phase2(graph, phase1, self.iter_max)
-        if phase1.t_sequential < phase2.t_parallel:
-            mode = ExecutionMode.SEQUENTIAL
-            best_cycles = phase1.t_sequential
-            geometry = (phase1.seq_h, phase1.seq_w, phase1.seq_n_sub)
-            # Whole array for each unit in turn.
-            nl = tuple([geometry[2]] * len(graph.layer_nodes))
-            nv = tuple([geometry[2]] * len(graph.vsa_nodes))
-        else:
-            mode = ExecutionMode.PARALLEL
-            best_cycles = phase2.t_parallel
-            geometry = (phase1.h, phase1.w, phase1.n_sub)
-            nl, nv = phase2.nl, phase2.nv
-
-        memory = plan_memory(graph, self.precision)
-        simd = simd_width(
-            graph,
-            max(best_cycles, 1),
-            self._array_node_cycles(graph, geometry, mode, nl, nv),
-        )
-        n_vsa = max(len(graph.vsa_nodes), 1)
-        space = design_space_size(
-            m=int(math.log2(self.max_pes)),
-            n_layer_nodes=max(len(graph.layer_nodes), 1),
-            n_vsa_nodes=n_vsa,
-            iter_max=self.iter_max,
-        )
-        config = DesignConfig(
-            workload=graph.workload,
-            h=geometry[0],
-            w=geometry[1],
-            n_sub=geometry[2],
-            nl=nl,
-            nv=nv,
-            nl_bar=phase1.nl_bar,
-            nv_bar=phase1.nv_bar,
-            mode=mode,
-            simd_width=simd,
-            memory=memory,
-            precision=self.precision,
-            clock_mhz=self.clock_mhz,
-            estimated_cycles=int(best_cycles),
-            extras={
-                "phase1_cycles": phase1.t_parallel,
-                "sequential_cycles": phase1.t_sequential,
-                "phase2_gain": phase2.gain_over(phase1.t_parallel)
-                if phase1.t_parallel > 0
-                else 0.0,
-                "candidates_evaluated": phase1.candidates_evaluated,
-            },
-        )
-        return DseReport(config=config, phase1=phase1, phase2=phase2, space=space)
-
-    @staticmethod
-    def _array_node_cycles(
-        graph: DataflowGraph,
-        geometry: tuple[int, int, int],
-        mode: ExecutionMode,
-        nl: tuple[int, ...],
-        nv: tuple[int, ...],
-    ) -> dict[str, int]:
-        """Per-array-node cycle estimates for the SIMD-width fusion rule."""
-        from ..model.runtime import layer_runtime, vsa_node_runtime
-
-        h, w, n_sub = geometry
-        cycles: dict[str, int] = {}
-        for i, node in enumerate(graph.layer_nodes):
-            alloc = n_sub if mode is ExecutionMode.SEQUENTIAL else nl[i]
-            assert node.gemm is not None
-            cycles[node.name] = layer_runtime(h, w, alloc, node.gemm)
-        for j, node in enumerate(graph.vsa_nodes):
-            alloc = n_sub if mode is ExecutionMode.SEQUENTIAL else nv[j]
-            assert node.vsa is not None
-            cycles[node.name] = vsa_node_runtime(h, w, alloc, node.vsa, "best")
-        return cycles
+        """Run both phases and assemble the design configuration."""
+        return self._engine.explore(graph)

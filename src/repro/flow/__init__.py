@@ -9,12 +9,13 @@ parameters, host code). One call reproduces the paper's "NSAI workload
 
 from .nsflow import CompiledDesign, NSFlow
 from .hostcode import generate_host_code
-from .report import format_table, speedup_table
+from .report import format_table, pareto_frontier_table, speedup_table
 
 __all__ = [
     "NSFlow",
     "CompiledDesign",
     "generate_host_code",
     "format_table",
+    "pareto_frontier_table",
     "speedup_table",
 ]

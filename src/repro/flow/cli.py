@@ -4,12 +4,43 @@ Mirrors the paper's user story — "NSAI workload (.py) in, deployment
 artifacts out" — as a CLI:
 
     python -m repro compile nvsa --precision MP --out build/nvsa
+    python -m repro compile nvsa --jobs 4 --pareto-k 8
     python -m repro workloads
     python -m repro characterize nvsa
 
 ``compile`` writes the four frontend/backend artifacts of Fig. 2 into the
 output directory: ``trace.json``, ``design_config.json``,
 ``nsflow_params.vh`` and ``host.cpp``, and prints the deployment summary.
+
+DSE flags
+---------
+``--jobs N``
+    Worker processes for the design-space sweep. ``1`` (the default)
+    evaluates candidates serially in-process; ``N > 1`` fans the chunked
+    candidate stream out over a ``concurrent.futures`` process pool. The
+    chosen design is **bit-identical for every value of N** — the merge
+    preserves the serial sweep's deterministic tie-breaking.
+``--pareto-k K``
+    How many Pareto-frontier rows to keep and print (default 8; ``0``
+    keeps the full frontier).
+
+Frontier report
+---------------
+After the deployment summary, ``compile`` prints the Pareto frontier of
+the explored space: every non-dominated design point under the
+(latency, area, energy) objectives, one row per point in ascending
+latency order —
+
+    # | (H, W, N) | Mode | Nl:Nv | Cycles | Latency (ms) | Area (PE-eq) | Energy (area*cyc)
+
+``Cycles``/``Latency`` are the point's best schedule (its own
+sequential-vs-parallel choice), ``Nl:Nv`` is the static partition for
+parallel-mode rows (``-`` for sequential rows), ``Area`` is the
+PE-equivalent proxy ``H·W·N + N·(H+W) + 8N`` (PEs plus per-sub-array
+periphery/control), and ``Energy`` is the area·cycle product. The
+table's first row is the latency-optimal design the compiler
+instantiates when it also wins the refined Phase II comparison (see
+DESIGN.md "Pareto frontier semantics").
 """
 
 from __future__ import annotations
@@ -27,7 +58,7 @@ from ..trace.serialize import trace_to_json
 from ..utils import MB
 from ..workloads import available_workloads, build_workload
 from .nsflow import NSFlow
-from .report import format_table
+from .report import format_table, pareto_frontier_table
 from ..dse.config import design_config_to_json
 
 __all__ = ["main", "build_parser"]
@@ -52,6 +83,12 @@ def build_parser() -> argparse.ArgumentParser:
                       help="Phase II iteration cap (Algorithm 1 Iter_max)")
     comp.add_argument("--loops", type=int, default=1,
                       help="inference loops to fuse (inter-loop parallelism)")
+    comp.add_argument("--jobs", type=int, default=1,
+                      help="worker processes for the DSE sweep "
+                           "(1 = serial; results identical for any N)")
+    comp.add_argument("--pareto-k", type=int, default=8, dest="pareto_k",
+                      help="Pareto-frontier rows to keep/print "
+                           "(0 = full frontier)")
     comp.add_argument("--out", type=pathlib.Path, default=None,
                       help="directory for generated artifacts")
 
@@ -91,11 +128,20 @@ def _cmd_characterize(args: argparse.Namespace) -> int:
 
 
 def _cmd_compile(args: argparse.Namespace) -> int:
+    if args.jobs < 1:
+        print(f"error: --jobs must be >= 1, got {args.jobs}", file=sys.stderr)
+        return 1
+    if args.pareto_k < 0:
+        print(f"error: --pareto-k must be >= 0, got {args.pareto_k}",
+              file=sys.stderr)
+        return 1
     workload = build_workload(args.workload)
     nsf = NSFlow(
         device=_DEVICES[args.device],
         precision=MIXED_PRECISION_PRESETS[args.precision],
         iter_max=args.iter_max,
+        jobs=args.jobs,
+        pareto_k=args.pareto_k,
     )
     design = nsf.compile(workload, n_loops=args.loops)
 
@@ -121,6 +167,10 @@ def _cmd_compile(args: argparse.Namespace) -> int:
         ["Parameter", "Value"], rows,
         title=f"NSFlow design: {workload.name} on {r.device}",
     ))
+
+    if design.dse.pareto is not None and design.dse.pareto:
+        print()
+        print(pareto_frontier_table(design.dse.pareto, clock_mhz=c.clock_mhz))
 
     if args.out is not None:
         args.out.mkdir(parents=True, exist_ok=True)

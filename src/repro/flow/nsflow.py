@@ -21,7 +21,7 @@ from ..arch.controller import Controller, ScheduleResult
 from ..arch.resources import FpgaDevice, ResourceEstimate, U250, estimate_resources
 from ..arch.rtlgen import generate_rtl_parameters
 from ..dse.config import DesignConfig
-from ..dse.explorer import DseReport, TwoPhaseDSE
+from ..dse.engine import DseEngine, DseReport
 from ..errors import ConfigError
 from ..graph.build import build_dataflow_graph, fuse_loops
 from ..graph.dataflow import DataflowGraph
@@ -69,6 +69,8 @@ class NSFlow:
         max_pes: int | None = None,
         range_h: tuple[int, int] = (4, 256),
         range_w: tuple[int, int] = (4, 256),
+        jobs: int = 1,
+        pareto_k: int | None = None,
     ):
         self.device = device
         self.precision = precision or MIXED_PRECISION_PRESETS["MP"]
@@ -77,6 +79,8 @@ class NSFlow:
         self.max_pes = max_pes or device.max_pes()
         self.range_h = range_h
         self.range_w = range_w
+        self.jobs = jobs
+        self.pareto_k = pareto_k
         if self.max_pes < 4:
             raise ConfigError(f"device {device.name} supports too few PEs")
 
@@ -93,13 +97,15 @@ class NSFlow:
         else:
             graph = build_dataflow_graph(trace)
 
-        dse = TwoPhaseDSE(
+        dse = DseEngine(
             max_pes=self.max_pes,
             precision=self.precision,
             iter_max=self.iter_max,
             range_h=self.range_h,
             range_w=self.range_w,
             clock_mhz=self.clock_mhz,
+            jobs=self.jobs,
+            pareto_k=self.pareto_k,
         )
         report = dse.explore(graph)
         config = report.config

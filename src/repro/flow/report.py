@@ -1,12 +1,22 @@
-"""Plain-text table formatting for benches and examples."""
+"""Plain-text table formatting for benches, examples, and the CLI.
+
+Besides the generic :func:`format_table`, this module renders the DSE
+engine's Pareto frontier (:func:`pareto_frontier_table`): one row per
+non-dominated design point, ordered by ascending latency, with the
+area (PE count) and energy (PE·cycle) proxies alongside.
+"""
 
 from __future__ import annotations
 
+from typing import TYPE_CHECKING
 from collections.abc import Sequence
 
 from ..errors import ConfigError
 
-__all__ = ["format_table", "speedup_table"]
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..dse.engine import ParetoFrontier
+
+__all__ = ["format_table", "speedup_table", "pareto_frontier_table"]
 
 
 def format_table(
@@ -33,6 +43,53 @@ def format_table(
     for row in cells[1:]:
         lines.append(" | ".join(c.ljust(w) for c, w in zip(row, widths)))
     return "\n".join(lines)
+
+
+def pareto_frontier_table(
+    frontier: "ParetoFrontier",
+    clock_mhz: float = 272.0,
+    title: str | None = None,
+) -> str:
+    """Render a Pareto frontier as the CLI's frontier report.
+
+    Columns: rank, geometry ``(H, W, N)``, execution mode, the static
+    ``N̄l : N̄v`` split, estimated cycles, latency at ``clock_mhz``, the
+    PE-equivalent area proxy (PEs + sub-array periphery), and the
+    area·cycle energy proxy. Rows are the frontier's deterministic order
+    (ascending latency, ties broken by area, energy, then geometry).
+    """
+    if title is None:
+        shown = (
+            f"top {len(frontier)} of {frontier.non_dominated}"
+            if len(frontier) < frontier.non_dominated
+            else f"{frontier.non_dominated}"
+        )
+        title = (
+            f"Pareto frontier: {shown} non-dominated of "
+            f"{frontier.geometries_evaluated} geometries "
+            f"({frontier.dominated} dominated or tied)"
+        )
+    rows = [
+        [
+            i + 1,
+            f"({p.h}, {p.w}, {p.n_sub})",
+            p.mode.value,
+            # Sequential rows run NN then VSA on the whole array; the
+            # static split only describes the parallel schedule.
+            f"{p.nl_bar} : {p.nv_bar}" if p.mode.value == "parallel" else "-",
+            f"{p.cycles:,}",
+            f"{p.latency_s(clock_mhz) * 1e3:.3f}",
+            f"{p.area:,}",
+            f"{p.energy_proxy:.3e}",
+        ]
+        for i, p in enumerate(frontier)
+    ]
+    return format_table(
+        ["#", "(H, W, N)", "Mode", "Nl:Nv", "Cycles", "Latency (ms)",
+         "Area (PE-eq)", "Energy (area*cyc)"],
+        rows,
+        title=title,
+    )
 
 
 def speedup_table(

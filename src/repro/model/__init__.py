@@ -18,6 +18,17 @@ from .runtime import (
 )
 from .memory import MemoryPlan, plan_memory, simd_width
 from .designspace import DesignSpaceSize, design_space_size
+from .cache import (
+    CacheStats,
+    EvalCache,
+    cache_stats,
+    cached_layer_runtime,
+    cached_plan_memory,
+    cached_simd_width,
+    cached_vsa_node_runtime,
+    clear_model_caches,
+    graph_cache_key,
+)
 
 __all__ = [
     "layer_runtime",
@@ -33,4 +44,13 @@ __all__ = [
     "simd_width",
     "DesignSpaceSize",
     "design_space_size",
+    "CacheStats",
+    "EvalCache",
+    "cache_stats",
+    "cached_layer_runtime",
+    "cached_vsa_node_runtime",
+    "cached_plan_memory",
+    "cached_simd_width",
+    "clear_model_caches",
+    "graph_cache_key",
 ]

@@ -79,34 +79,36 @@ def circular_correlation(a: np.ndarray, b: np.ndarray) -> np.ndarray:
 def exact_circular_convolution(a: np.ndarray, b: np.ndarray) -> np.ndarray:
     """O(d²) reference implementation of :func:`circular_convolution`.
 
-    Used by tests and by the hardware simulator's golden model; kept simple
-    and index-explicit on purpose.
+    The oracle the FFT path is tested against (and the hardware
+    simulator's golden model). Uses the shift identity
+    ``C = Σ_k A[k] · roll(B, k)`` — ``roll(B, k)[n] = B[(n − k) mod d]``
+    — so only the sum over ``k`` remains a Python loop; memory stays
+    O(batch · d), unlike a full (d × d) gather matrix.
     """
     a = np.asarray(a, dtype=np.float64)
     b = np.asarray(b, dtype=np.float64)
     _check_last_axis(a, b)
     d = a.shape[-1]
     out = np.zeros(np.broadcast_shapes(a.shape, b.shape), dtype=np.float64)
-    for n in range(d):
-        acc = np.zeros(out.shape[:-1], dtype=np.float64)
-        for k in range(d):
-            acc = acc + a[..., k] * b[..., (n - k) % d]
-        out[..., n] = acc
+    for k in range(d):
+        out += a[..., k, None] * np.roll(b, k, axis=-1)
     return out
 
 
 def exact_circular_correlation(a: np.ndarray, b: np.ndarray) -> np.ndarray:
-    """O(d²) reference implementation of :func:`circular_correlation`."""
+    """O(d²) reference implementation of :func:`circular_correlation`.
+
+    Same shift identity as :func:`exact_circular_convolution` with the
+    opposite roll direction: ``roll(B, −k)[n] = B[(n + k) mod d]`` (the
+    unbinding kernel's sign flip).
+    """
     a = np.asarray(a, dtype=np.float64)
     b = np.asarray(b, dtype=np.float64)
     _check_last_axis(a, b)
     d = a.shape[-1]
     out = np.zeros(np.broadcast_shapes(a.shape, b.shape), dtype=np.float64)
-    for n in range(d):
-        acc = np.zeros(out.shape[:-1], dtype=np.float64)
-        for k in range(d):
-            acc = acc + a[..., k] * b[..., (n + k) % d]
-        out[..., n] = acc
+    for k in range(d):
+        out += a[..., k, None] * np.roll(b, -k, axis=-1)
     return out
 
 

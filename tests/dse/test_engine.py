@@ -1,0 +1,230 @@
+"""Unit tests for the batched/parallel/cached Pareto DSE engine."""
+
+import pytest
+
+from repro.dse import DseEngine, ExecutionMode, TwoPhaseDSE, pareto_filter
+from repro.dse.engine import ParetoPoint, area_pe_equiv
+from repro.dse.phase1 import run_phase1
+from repro.errors import DSEError
+from repro.model.cache import (
+    LAYER_RUNTIME_CACHE,
+    MEMORY_PLAN_CACHE,
+    cached_layer_runtime,
+    cached_plan_memory,
+    clear_model_caches,
+)
+from repro.model.runtime import parallel_runtime, sequential_runtime
+from repro.nn.gemm import GemmDims
+from repro.quant import MIXED_PRECISION_PRESETS
+from repro.trace import ExecutionUnit, OpDomain, Tracer, VsaDims
+from repro.graph import build_dataflow_graph
+
+
+@pytest.fixture(scope="module")
+def tiny_graph():
+    """One GEMM layer feeding one VSA node: every cost is hand-checkable."""
+    t = Tracer("tiny")
+    conv = t.record(
+        "conv2d", OpDomain.NEURAL, ExecutionUnit.ARRAY_NN,
+        ("%input",), (1, 4, 4, 4), gemm=GemmDims(16, 8, 9),
+    )
+    t.record(
+        "bind", OpDomain.SYMBOLIC, ExecutionUnit.ARRAY_VSA,
+        (conv.name,), (4, 64), vsa=VsaDims(4, 64),
+    )
+    return build_dataflow_graph(t.finish())
+
+
+def _tiny_engine(**kwargs):
+    return DseEngine(max_pes=64, range_h=(4, 8), range_w=(4, 8), **kwargs)
+
+
+class TestCandidateStream:
+    def test_is_lazy(self):
+        stream = _tiny_engine().iter_candidates()
+        assert iter(stream) is stream  # a generator, not a list
+
+    def test_respects_budget_and_ranges(self):
+        cands = list(_tiny_engine().iter_candidates())
+        assert cands, "tiny space must not be empty"
+        for c in cands:
+            assert c.h * c.w * c.n_sub <= 64
+            assert 4 <= c.h <= 8 and 4 <= c.w <= 8
+            assert c.n_sub >= 2
+
+    def test_indexes_are_sequential(self):
+        cands = list(_tiny_engine().iter_candidates())
+        assert [c.index for c in cands] == list(range(len(cands)))
+
+    def test_infeasible_space_raises(self, tiny_graph):
+        engine = DseEngine(max_pes=64, range_h=(256, 256), range_w=(256, 256))
+        with pytest.raises(DSEError):
+            engine.evaluate(tiny_graph)
+
+
+class TestParetoFrontier:
+    def test_matches_brute_force(self, tiny_graph):
+        """The frontier equals an independent exhaustive reconstruction."""
+        engine = _tiny_engine()
+        layers = [n.gemm for n in tiny_graph.layer_nodes]
+        vsa = [n.vsa for n in tiny_graph.vsa_nodes]
+
+        expected = []
+        for c in engine.iter_candidates():
+            t_seq = sequential_runtime(c.h, c.w, c.n_sub, layers, vsa)
+            t_par, nl_bar, nv_bar = min(
+                (parallel_runtime(
+                    c.h, c.w, [nl] * len(layers),
+                    [c.n_sub - nl] * len(vsa), layers, vsa,
+                ), nl, c.n_sub - nl)
+                for nl in range(1, c.n_sub)
+            )
+            cycles = min(t_seq, t_par)
+            area = area_pe_equiv(c.h, c.w, c.n_sub)
+            expected.append((cycles, area))
+        # O(n^2) dominance from scratch.
+        non_dom = {
+            p for p in expected
+            if not any(
+                q != p and q[0] <= p[0] and q[1] <= p[1] for q in expected
+            )
+        }
+
+        frontier = engine.explore(tiny_graph).pareto
+        assert {(p.cycles, p.area) for p in frontier} == non_dom
+
+    def test_no_point_dominates_another(self, small_nvsa_graph):
+        frontier = DseEngine(max_pes=1024).explore(small_nvsa_graph).pareto
+        pts = list(frontier)
+        for a in pts:
+            for b in pts:
+                if a is b:
+                    continue
+                dominated = (
+                    all(x <= y for x, y in zip(a.objectives, b.objectives))
+                    and a.objectives != b.objectives
+                )
+                assert not dominated, (a, b)
+
+    def test_sorted_by_latency_and_counts_consistent(self, small_nvsa_graph):
+        frontier = DseEngine(max_pes=1024).explore(small_nvsa_graph).pareto
+        cycles = [p.cycles for p in frontier]
+        assert cycles == sorted(cycles)
+        assert len(frontier) == frontier.non_dominated
+        assert (
+            frontier.geometries_evaluated
+            == frontier.non_dominated + frontier.dominated
+        )
+
+    def test_best_latency_matches_report(self, small_nvsa_graph):
+        report = DseEngine(max_pes=1024).explore(small_nvsa_graph)
+        best = report.pareto.best_latency
+        assert best.cycles == min(
+            report.phase1.t_sequential, report.phase1.t_parallel
+        )
+
+    def test_pareto_k_truncates(self, tiny_graph):
+        full = _tiny_engine().explore(tiny_graph).pareto
+        top1 = _tiny_engine(pareto_k=1).explore(tiny_graph).pareto
+        assert len(top1) == 1
+        assert top1.points[0] == full.points[0]
+        # accounting describes the full frontier, not the truncation
+        assert top1.non_dominated == full.non_dominated
+        assert top1.dominated == full.dominated
+        assert (
+            top1.geometries_evaluated == top1.non_dominated + top1.dominated
+        )
+
+    def test_tie_breaking_is_deterministic(self):
+        def point(h, w):
+            return ParetoPoint(
+                h=h, w=w, n_sub=2, mode=ExecutionMode.PARALLEL,
+                nl_bar=1, nv_bar=1, cycles=100, area=50, energy_proxy=5000,
+            )
+
+        frontier = pareto_filter([point(8, 4), point(4, 8)])
+        assert len(frontier) == 1
+        assert (frontier[0].h, frontier[0].w) == (4, 8)
+
+
+class TestParallelEquality:
+    def test_jobs_do_not_change_results(self, tiny_graph):
+        serial = _tiny_engine(jobs=1).explore(tiny_graph)
+        pooled = _tiny_engine(jobs=2).explore(tiny_graph)
+        assert pooled.config == serial.config
+        assert pooled.phase1 == serial.phase1
+        assert pooled.phase2 == serial.phase2
+        assert pooled.pareto == serial.pareto
+
+    def test_chunk_size_does_not_change_results(self, tiny_graph):
+        serial = _tiny_engine(jobs=1).explore(tiny_graph)
+        chunked = _tiny_engine(jobs=2, chunk_size=1).explore(tiny_graph)
+        assert chunked.config == serial.config
+        assert chunked.pareto == serial.pareto
+
+    def test_invalid_parallel_params(self):
+        with pytest.raises(DSEError):
+            DseEngine(jobs=0)
+        with pytest.raises(DSEError):
+            DseEngine(chunk_size=0)
+        with pytest.raises(DSEError):
+            DseEngine(pareto_k=-1)
+
+    def test_pareto_k_zero_means_full_frontier(self, tiny_graph):
+        full = _tiny_engine(pareto_k=0).explore(tiny_graph).pareto
+        assert len(full) == full.non_dominated
+
+
+class TestCaching:
+    def test_memory_plan_cache_hits(self, tiny_graph):
+        clear_model_caches()
+        precision = MIXED_PRECISION_PRESETS["MP"]
+        first = cached_plan_memory(tiny_graph, precision)
+        assert MEMORY_PLAN_CACHE.stats.misses == 1
+        second = cached_plan_memory(tiny_graph, precision)
+        assert second is first
+        assert MEMORY_PLAN_CACHE.stats.hits == 1
+
+    def test_layer_runtime_cache_hits(self):
+        clear_model_caches()
+        dims = GemmDims(16, 8, 9)
+        a = cached_layer_runtime(4, 4, 2, dims)
+        b = cached_layer_runtime(4, 4, 2, dims)
+        assert a == b
+        assert LAYER_RUNTIME_CACHE.stats.hits == 1
+        assert LAYER_RUNTIME_CACHE.stats.misses == 1
+        assert LAYER_RUNTIME_CACHE.stats.hit_rate == pytest.approx(0.5)
+
+    def test_reexploration_hits_graph_caches(self, tiny_graph):
+        clear_model_caches()
+        engine = _tiny_engine()
+        engine.explore(tiny_graph)
+        misses_after_first = MEMORY_PLAN_CACHE.stats.misses
+        engine.explore(tiny_graph)
+        assert MEMORY_PLAN_CACHE.stats.misses == misses_after_first
+        assert MEMORY_PLAN_CACHE.stats.hits >= 1
+
+
+class TestCompatibilityShim:
+    def test_shim_matches_engine(self, small_nvsa_graph):
+        shim = TwoPhaseDSE(max_pes=1024).explore(small_nvsa_graph)
+        engine = DseEngine(max_pes=1024).explore(small_nvsa_graph)
+        assert shim.config == engine.config
+        assert shim.phase1 == engine.phase1
+        assert shim.phase2 == engine.phase2
+
+    def test_phase1_matches_serial_sweep(self, small_nvsa_graph):
+        """The batched sweep reduces to the historical serial Phase I."""
+        report = DseEngine(max_pes=1024).explore(small_nvsa_graph)
+        assert report.phase1 == run_phase1(small_nvsa_graph, 1024)
+
+    def test_shim_validates_max_pes(self):
+        with pytest.raises(DSEError):
+            TwoPhaseDSE(max_pes=1000)
+
+    def test_shim_exposes_legacy_attributes(self):
+        dse = TwoPhaseDSE(max_pes=512, iter_max=3)
+        assert dse.max_pes == 512
+        assert dse.iter_max == 3
+        assert dse.range_h == (4, 256)
+        assert dse.clock_mhz == pytest.approx(272.0)
