@@ -24,7 +24,14 @@ from ..errors import ResourceError
 from ..quant import Precision
 from ..utils import MB, ceil_div, next_power_of_two
 
-__all__ = ["FpgaDevice", "ResourceEstimate", "U250", "ZCU104", "estimate_resources"]
+__all__ = [
+    "FpgaDevice",
+    "ResourceEstimate",
+    "U250",
+    "ZCU104",
+    "FPGA_DEVICES",
+    "estimate_resources",
+]
 
 
 @dataclass(frozen=True)
@@ -76,6 +83,10 @@ ZCU104 = FpgaDevice(
     uram_bytes=int(3.4 * MB),
     lutram_luts=101_760,
 )
+
+#: Deployment targets by CLI/sweep name, in paper order (the datacenter
+#: card first, the edge part second).
+FPGA_DEVICES: dict[str, FpgaDevice] = {"u250": U250, "zcu104": ZCU104}
 
 
 def _cost_key(neural: Precision, symbolic: Precision) -> str:

@@ -18,6 +18,7 @@ from .phase1 import Phase1Result, run_phase1
 from .phase2 import Phase2Result, run_phase2
 from .engine import (
     DseEngine,
+    DsePool,
     DseReport,
     GeometryCandidate,
     GeometryEval,
@@ -38,6 +39,7 @@ __all__ = [
     "run_phase2",
     "TwoPhaseDSE",
     "DseEngine",
+    "DsePool",
     "DseReport",
     "GeometryCandidate",
     "GeometryEval",

@@ -63,9 +63,77 @@ __all__ = [
     "ParetoFrontier",
     "DseReport",
     "DseEngine",
+    "DsePool",
     "pareto_filter",
     "area_pe_equiv",
+    "DEFAULT_CLOCK_MHZ",
+    "DEFAULT_RANGE_H",
+    "DEFAULT_RANGE_W",
 ]
+
+#: The paper's deployment clock and geometry sweep ranges. These are the
+#: single source of truth shared by :class:`DseEngine`,
+#: :class:`repro.flow.nsflow.NSFlow`, and the artifact cache key
+#: (:mod:`repro.flow.artifacts`) — changing a default here changes the
+#: key, so previously cached scenarios correctly become misses.
+DEFAULT_CLOCK_MHZ = 272.0
+DEFAULT_RANGE_H: tuple[int, int] = (4, 256)
+DEFAULT_RANGE_W: tuple[int, int] = (4, 256)
+
+
+class DsePool:
+    """A reusable jobs budget: one process pool shared across explorations.
+
+    ``DseEngine`` historically created and tore down a
+    ``ProcessPoolExecutor`` inside every :meth:`DseEngine.evaluate` call;
+    a scenario sweep compiling many workloads would pay worker fork/spawn
+    cost once per scenario. ``DsePool`` owns the executor so any number
+    of engines (and therefore scenarios) share one worker fleet and one
+    ``jobs`` budget:
+
+    >>> with DsePool(jobs=4) as pool:                    # doctest: +SKIP
+    ...     for graph in graphs:
+    ...         DseEngine(pool=pool).explore(graph)
+
+    ``jobs == 1`` never spawns processes — :meth:`map` runs in-process —
+    and the executor is created lazily on the first parallel ``map``.
+    Sharing a pool cannot change results: the engine's merge is keyed on
+    candidate index (see DESIGN.md "Parallel determinism").
+    """
+
+    def __init__(self, jobs: int = 1):
+        if jobs < 1:
+            raise DSEError(f"jobs must be >= 1, got {jobs}")
+        self.jobs = jobs
+        self._executor: ProcessPoolExecutor | None = None
+        self._closed = False
+
+    def map(self, fn, items: Sequence) -> list:
+        """Apply ``fn`` over ``items``, in-process or on the worker fleet."""
+        if self._closed:
+            raise DSEError("DsePool is closed")
+        if self.jobs == 1:
+            return [fn(item) for item in items]
+        if self._executor is None:
+            self._executor = ProcessPoolExecutor(max_workers=self.jobs)
+        return list(self._executor.map(fn, items))
+
+    def close(self) -> None:
+        """Shut the worker fleet down; subsequent ``map`` calls raise."""
+        if self._executor is not None:
+            self._executor.shutdown()
+            self._executor = None
+        self._closed = True
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def __enter__(self) -> "DsePool":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
 
 
 @dataclass(frozen=True)
@@ -342,6 +410,11 @@ class DseEngine:
         Keep only the ``k`` lowest-latency frontier points in the
         report (``None`` or ``0`` keeps the full frontier, matching the
         CLI's ``--pareto-k 0`` convention).
+    pool:
+        A :class:`DsePool` to evaluate on instead of an engine-private
+        executor. The pool's ``jobs`` budget overrides the ``jobs``
+        argument, so every engine sharing the pool also shares one
+        worker-count policy. The engine never closes a caller's pool.
     """
 
     def __init__(
@@ -349,19 +422,22 @@ class DseEngine:
         max_pes: int = 8192,
         precision: MixedPrecisionConfig | None = None,
         iter_max: int = 8,
-        range_h: tuple[int, int] = (4, 256),
-        range_w: tuple[int, int] = (4, 256),
-        clock_mhz: float = 272.0,
+        range_h: tuple[int, int] = DEFAULT_RANGE_H,
+        range_w: tuple[int, int] = DEFAULT_RANGE_W,
+        clock_mhz: float = DEFAULT_CLOCK_MHZ,
         jobs: int = 1,
         chunk_size: int | None = None,
         pareto_k: int | None = None,
         aspect_min: float = 0.25,
         aspect_max: float = 16.0,
+        pool: DsePool | None = None,
     ):
         if not is_power_of_two(max_pes):
             raise DSEError(f"max_pes must be a power of two, got {max_pes}")
         if jobs < 1:
             raise DSEError(f"jobs must be >= 1, got {jobs}")
+        if pool is not None:
+            jobs = pool.jobs
         if chunk_size is not None and chunk_size < 1:
             raise DSEError(f"chunk_size must be >= 1, got {chunk_size}")
         if pareto_k == 0:
@@ -379,6 +455,7 @@ class DseEngine:
         self.pareto_k = pareto_k
         self.aspect_min = aspect_min
         self.aspect_max = aspect_max
+        self.pool = pool
 
     # -- candidate stream ------------------------------------------------------
 
@@ -444,9 +521,13 @@ class DseEngine:
         work = functools.partial(
             _evaluate_chunk, layers=layers, vsa_nodes=vsa_nodes
         )
-        with ProcessPoolExecutor(max_workers=self.jobs) as pool:
-            chunk_results = pool.map(work, self._make_chunks(candidates))
-            evals = [ev for chunk in chunk_results for ev in chunk]
+        chunks = self._make_chunks(candidates)
+        if self.pool is not None:
+            chunk_results = self.pool.map(work, chunks)
+        else:
+            with ProcessPoolExecutor(max_workers=self.jobs) as pool:
+                chunk_results = list(pool.map(work, chunks))
+        evals = [ev for chunk in chunk_results for ev in chunk]
         return sorted(evals, key=lambda e: e.index)
 
     @staticmethod

@@ -9,7 +9,22 @@ parameters, host code). One call reproduces the paper's "NSAI workload
 
 from .nsflow import CompiledDesign, NSFlow
 from .hostcode import generate_host_code
-from .report import format_table, pareto_frontier_table, speedup_table
+from .artifacts import ArtifactStore, ScenarioArtifacts, scenario_cache_key
+from .report import (
+    format_table,
+    pareto_frontier_table,
+    speedup_table,
+    sweep_comparison_table,
+    sweep_results_table,
+    sweep_summary,
+)
+from .sweep import (
+    ScenarioGrid,
+    ScenarioOutcome,
+    ScenarioSpec,
+    SweepResult,
+    run_sweep,
+)
 
 __all__ = [
     "NSFlow",
@@ -18,4 +33,15 @@ __all__ = [
     "format_table",
     "pareto_frontier_table",
     "speedup_table",
+    "sweep_results_table",
+    "sweep_comparison_table",
+    "sweep_summary",
+    "ArtifactStore",
+    "ScenarioArtifacts",
+    "scenario_cache_key",
+    "ScenarioSpec",
+    "ScenarioGrid",
+    "ScenarioOutcome",
+    "SweepResult",
+    "run_sweep",
 ]

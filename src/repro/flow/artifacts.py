@@ -1,0 +1,377 @@
+"""Content-addressed artifact store for compiled scenarios.
+
+A scenario — one (workload config, device, precision, engine knobs)
+point — deterministically produces one compiled design: the execution
+trace, the DSE report with its Pareto frontier, and the backend's
+resource/latency numbers. This module persists those artifacts on disk
+under a content hash of the *inputs*, so any re-compilation of an
+already-seen scenario is a directory read instead of a trace extraction
+plus a full design-space sweep.
+
+Cache key
+---------
+:func:`scenario_cache_key` hashes the canonical JSON of
+
+* the fully-resolved workload config (defaults + overrides — changing a
+  default in code invalidates correctly),
+* the target device's complete resource budget (not just its name),
+* the deployment precision pair,
+* the engine knobs that can change results: ``iter_max``, ``loops``,
+  ``max_pes``, ``clock_mhz``, and the H/W sweep ranges,
+
+plus :data:`ARTIFACT_FORMAT_VERSION` (the on-disk schema) and
+:data:`ENGINE_CACHE_EPOCH` (the cost-model generation). Knobs that are
+guaranteed *not* to change results are deliberately excluded: ``jobs``
+(bit-identical for any worker count) and ``pareto_k`` (the store always
+keeps the full frontier; truncation happens at render time). See
+DESIGN.md "Sweep & artifact cache".
+
+Layout
+------
+``root/<key[:2]>/<key>/`` holds ``meta.json`` (the key's input document),
+``trace.json`` (lossless, via :mod:`repro.trace.serialize`),
+``design_config.json`` (via :mod:`repro.dse.config`), and
+``report.json`` (Phase I/II results, design-space accounting, the full
+Pareto frontier, resource estimate, and schedule summary). Entries are
+written to a temp directory and renamed into place, so a crashed writer
+never leaves a half-entry a reader could mistake for a hit; unreadable
+or version-skewed entries count as misses and are overwritten by the
+next store.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+import shutil
+import tempfile
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+from ..arch.resources import FpgaDevice, ResourceEstimate
+from ..dse.config import (
+    DesignConfig,
+    ExecutionMode,
+    design_config_from_json,
+    design_config_to_json,
+)
+from ..dse.engine import (
+    DEFAULT_CLOCK_MHZ,
+    DEFAULT_RANGE_H,
+    DEFAULT_RANGE_W,
+    DseReport,
+    ParetoFrontier,
+    ParetoPoint,
+)
+from ..dse.phase1 import Phase1Result
+from ..dse.phase2 import Phase2Result
+from ..model.designspace import DesignSpaceSize
+from ..quant import MixedPrecisionConfig
+from ..trace.opnode import Trace
+from ..trace.serialize import trace_fingerprint, trace_from_json, trace_to_json
+from ..utils import jsonable, stable_digest
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .nsflow import CompiledDesign
+
+__all__ = [
+    "ARTIFACT_FORMAT_VERSION",
+    "ENGINE_CACHE_EPOCH",
+    "StoreStats",
+    "ScenarioArtifacts",
+    "ArtifactStore",
+    "scenario_cache_key",
+]
+
+#: On-disk schema version; bump when the artifact file layout changes.
+ARTIFACT_FORMAT_VERSION = 1
+
+#: Cost-model generation. Bump whenever the analytical models, the DSE
+#: semantics, or the backend estimators change in a way that can alter
+#: results for identical inputs — every previously cached scenario then
+#: misses and recompiles.
+ENGINE_CACHE_EPOCH = 1
+
+
+def scenario_cache_key(
+    *,
+    workload: str,
+    workload_config: dict,
+    device: FpgaDevice,
+    precision: MixedPrecisionConfig,
+    iter_max: int,
+    loops: int,
+    max_pes: int,
+    clock_mhz: float = DEFAULT_CLOCK_MHZ,
+    range_h: tuple[int, int] = DEFAULT_RANGE_H,
+    range_w: tuple[int, int] = DEFAULT_RANGE_W,
+) -> str:
+    """Content hash of everything that determines a scenario's artifacts."""
+    return stable_digest(_key_doc(
+        workload=workload,
+        workload_config=workload_config,
+        device=device,
+        precision=precision,
+        iter_max=iter_max,
+        loops=loops,
+        max_pes=max_pes,
+        clock_mhz=clock_mhz,
+        range_h=range_h,
+        range_w=range_w,
+    ), length=32)
+
+
+def _key_doc(
+    *,
+    workload: str,
+    workload_config: dict,
+    device: FpgaDevice,
+    precision: MixedPrecisionConfig,
+    iter_max: int,
+    loops: int,
+    max_pes: int,
+    clock_mhz: float,
+    range_h: tuple[int, int],
+    range_w: tuple[int, int],
+) -> dict:
+    return {
+        "format": ARTIFACT_FORMAT_VERSION,
+        "epoch": ENGINE_CACHE_EPOCH,
+        "workload": {"name": workload, "config": workload_config},
+        "device": jsonable(device),
+        "precision": {
+            "neural": precision.neural.value,
+            "symbolic": precision.symbolic.value,
+        },
+        "engine": {
+            "iter_max": iter_max,
+            "loops": loops,
+            "max_pes": max_pes,
+            "clock_mhz": clock_mhz,
+            "range_h": list(range_h),
+            "range_w": list(range_w),
+        },
+    }
+
+
+@dataclass(frozen=True)
+class StoreStats:
+    """Counters of one store's lifetime (reset only with the instance)."""
+
+    hits: int
+    misses: int
+    stores: int
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+
+@dataclass(frozen=True)
+class ScenarioArtifacts:
+    """Everything a sweep consumer needs from one compiled scenario.
+
+    This is the cacheable subset of :class:`~repro.flow.nsflow.
+    CompiledDesign`: the trace, the DSE report (with the *full* Pareto
+    frontier), the resource estimate, and the scheduled latency. The
+    generated RTL header / host code are not stored — they are cheap,
+    pure functions of ``config`` and the graph, which itself rebuilds
+    deterministically from ``trace``.
+    """
+
+    trace: Trace
+    config: DesignConfig
+    report: DseReport
+    resources: ResourceEstimate
+    total_cycles: int
+    latency_ms: float
+
+
+def _report_doc(design: "CompiledDesign") -> dict:
+    """Serialize the cacheable result fields of a compiled design."""
+    dse = design.dse
+    frontier = dse.pareto
+    return {
+        "format_version": ARTIFACT_FORMAT_VERSION,
+        "phase1": jsonable(dse.phase1),
+        "phase2": jsonable(dse.phase2),
+        "space": jsonable(dse.space),
+        "pareto": None if frontier is None else {
+            "points": [jsonable(p) for p in frontier.points],
+            "geometries_evaluated": frontier.geometries_evaluated,
+            "non_dominated": frontier.non_dominated,
+            "dominated": frontier.dominated,
+        },
+        "resources": jsonable(design.resources),
+        "schedule": {
+            "total_cycles": design.schedule.total_cycles,
+            "latency_ms": design.latency_ms,
+        },
+    }
+
+
+def _frontier_from_doc(doc: dict | None) -> ParetoFrontier | None:
+    if doc is None:
+        return None
+    points = tuple(
+        ParetoPoint(
+            h=p["h"], w=p["w"], n_sub=p["n_sub"],
+            mode=ExecutionMode(p["mode"]),
+            nl_bar=p["nl_bar"], nv_bar=p["nv_bar"],
+            cycles=p["cycles"], area=p["area"],
+            energy_proxy=p["energy_proxy"],
+        )
+        for p in doc["points"]
+    )
+    return ParetoFrontier(
+        points=points,
+        geometries_evaluated=doc["geometries_evaluated"],
+        non_dominated=doc["non_dominated"],
+        dominated=doc["dominated"],
+    )
+
+
+def _artifacts_from_docs(
+    trace_text: str, config_text: str, report: dict
+) -> ScenarioArtifacts:
+    if report.get("format_version") != ARTIFACT_FORMAT_VERSION:
+        raise ValueError(
+            f"unsupported report format {report.get('format_version')!r}"
+        )
+    trace = trace_from_json(trace_text)
+    config = design_config_from_json(config_text)
+    p2 = report["phase2"]
+    dse_report = DseReport(
+        config=config,
+        phase1=Phase1Result(**report["phase1"]),
+        phase2=Phase2Result(
+            nl=tuple(p2["nl"]),
+            nv=tuple(p2["nv"]),
+            t_parallel=p2["t_parallel"],
+            iterations_run=p2["iterations_run"],
+            improved=p2["improved"],
+        ),
+        space=DesignSpaceSize(**report["space"]),
+        pareto=_frontier_from_doc(report["pareto"]),
+    )
+    return ScenarioArtifacts(
+        trace=trace,
+        config=config,
+        report=dse_report,
+        resources=ResourceEstimate(**report["resources"]),
+        total_cycles=report["schedule"]["total_cycles"],
+        latency_ms=report["schedule"]["latency_ms"],
+    )
+
+
+class ArtifactStore:
+    """Content-addressed, crash-tolerant scenario cache on the filesystem.
+
+    >>> store = ArtifactStore("build/sweep-cache")      # doctest: +SKIP
+    >>> hit = store.load(key)                           # doctest: +SKIP
+    >>> if hit is None:                                 # doctest: +SKIP
+    ...     store.store(key, compiled_design, meta_doc)
+
+    ``load`` never raises on a bad entry: missing files, truncated JSON,
+    or a format/epoch mismatch all count as a miss (the entry will be
+    rewritten by the next ``store``). Counters are exposed via
+    :attr:`stats` so sweeps can prove warm-cache behavior.
+    """
+
+    _META = "meta.json"
+    _TRACE = "trace.json"
+    _CONFIG = "design_config.json"
+    _REPORT = "report.json"
+
+    def __init__(self, root: str | os.PathLike):
+        self.root = pathlib.Path(root)
+        self.hits = 0
+        self.misses = 0
+        self.stores = 0
+
+    # -- addressing ------------------------------------------------------------
+
+    def path_for(self, key: str) -> pathlib.Path:
+        """Directory an entry with ``key`` lives in (two-level fan-out)."""
+        return self.root / key[:2] / key
+
+    def has(self, key: str) -> bool:
+        """Entry-existence probe; does not validate or touch counters."""
+        return (self.path_for(key) / self._REPORT).is_file()
+
+    def __len__(self) -> int:
+        if not self.root.is_dir():
+            return 0
+        return sum(1 for _ in self.root.glob(f"??/*/{self._REPORT}"))
+
+    # -- read ------------------------------------------------------------------
+
+    def load(self, key: str) -> ScenarioArtifacts | None:
+        """Return the cached artifacts for ``key``, or ``None`` on a miss."""
+        path = self.path_for(key)
+        try:
+            meta = json.loads((path / self._META).read_text())
+            if (meta.get("format") != ARTIFACT_FORMAT_VERSION
+                    or meta.get("epoch") != ENGINE_CACHE_EPOCH):
+                raise ValueError("format/epoch mismatch")
+            artifacts = _artifacts_from_docs(
+                (path / self._TRACE).read_text(),
+                (path / self._CONFIG).read_text(),
+                json.loads((path / self._REPORT).read_text()),
+            )
+            # Integrity audit: the trace on disk must still digest to
+            # what was stored (guards against in-place edits of an
+            # entry's files, which the content key cannot see).
+            if trace_fingerprint(artifacts.trace) != meta.get("trace_fingerprint"):
+                raise ValueError("trace fingerprint mismatch")
+        except Exception:
+            # Absent, truncated, corrupt, or version-skewed entries are
+            # all equivalent to "not cached".
+            self.misses += 1
+            return None
+        self.hits += 1
+        return artifacts
+
+    # -- write -----------------------------------------------------------------
+
+    def store(self, key: str, design: "CompiledDesign", key_doc: dict) -> pathlib.Path:
+        """Persist one compiled design under ``key``; returns the entry dir.
+
+        ``key_doc`` is the input document the key was hashed from; it is
+        stored in ``meta.json`` so an entry is self-describing (and so
+        format/epoch checks need no re-hash on load).
+        """
+        final = self.path_for(key)
+        final.parent.mkdir(parents=True, exist_ok=True)
+        tmp = pathlib.Path(tempfile.mkdtemp(
+            prefix=f".tmp-{key[:8]}-", dir=final.parent
+        ))
+        try:
+            meta = {
+                "format": ARTIFACT_FORMAT_VERSION,
+                "epoch": ENGINE_CACHE_EPOCH,
+                "key": key,
+                "trace_fingerprint": trace_fingerprint(design.trace),
+                "inputs": key_doc,
+            }
+            (tmp / self._META).write_text(json.dumps(meta, indent=2))
+            (tmp / self._TRACE).write_text(trace_to_json(design.trace))
+            (tmp / self._CONFIG).write_text(design_config_to_json(design.config))
+            (tmp / self._REPORT).write_text(
+                json.dumps(_report_doc(design), indent=2)
+            )
+            if final.exists():
+                shutil.rmtree(final)
+            os.replace(tmp, final)
+        except Exception:
+            shutil.rmtree(tmp, ignore_errors=True)
+            raise
+        self.stores += 1
+        return final
+
+    # -- accounting ------------------------------------------------------------
+
+    @property
+    def stats(self) -> StoreStats:
+        return StoreStats(hits=self.hits, misses=self.misses, stores=self.stores)

@@ -7,10 +7,19 @@ artifacts out" — as a CLI:
     python -m repro compile nvsa --jobs 4 --pareto-k 8
     python -m repro workloads
     python -m repro characterize nvsa
+    python -m repro sweep --devices u250,zcu104 --precisions MP,INT8
 
 ``compile`` writes the four frontend/backend artifacts of Fig. 2 into the
 output directory: ``trace.json``, ``design_config.json``,
 ``nsflow_params.vh`` and ``host.cpp``, and prints the deployment summary.
+
+``sweep`` compiles a whole scenario grid (workloads × devices ×
+precisions × loop counts) through one shared jobs budget, caching every
+compiled scenario in a content-addressed artifact store (``--cache-dir``,
+default ``.nsflow-cache``) so re-runs and overlapping grids only compile
+the delta. It prints one row per scenario, a cross-scenario comparison
+table, and a summary with the cache counters. See docs/CLI.md for the
+full flag reference.
 
 DSE flags
 ---------
@@ -49,7 +58,7 @@ import argparse
 import pathlib
 import sys
 
-from ..arch.resources import U250, ZCU104, FpgaDevice
+from ..arch.resources import FPGA_DEVICES
 from ..baselines import baseline_devices
 from ..characterize import characterize_workload
 from ..errors import NSFlowError
@@ -57,13 +66,21 @@ from ..quant import MIXED_PRECISION_PRESETS
 from ..trace.serialize import trace_to_json
 from ..utils import MB
 from ..workloads import available_workloads, build_workload
+from .artifacts import ArtifactStore
 from .nsflow import NSFlow
-from .report import format_table, pareto_frontier_table
+from .report import (
+    format_table,
+    pareto_frontier_table,
+    sweep_comparison_table,
+    sweep_results_table,
+    sweep_summary,
+)
+from .sweep import ScenarioGrid, run_sweep
 from ..dse.config import design_config_to_json
 
 __all__ = ["main", "build_parser"]
 
-_DEVICES: dict[str, FpgaDevice] = {"u250": U250, "zcu104": ZCU104}
+_DEVICES = FPGA_DEVICES
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -98,6 +115,40 @@ def build_parser() -> argparse.ArgumentParser:
         "characterize", help="profile a workload on the baseline devices"
     )
     char.add_argument("workload", choices=available_workloads())
+
+    swp = sub.add_parser(
+        "sweep",
+        help="compile a scenario grid (workloads x devices x precisions) "
+             "with a persistent compile cache",
+    )
+    swp.add_argument("--workloads", default=",".join(available_workloads()),
+                     help="comma-separated workload names "
+                          "(default: every registered workload)")
+    swp.add_argument("--devices", default="u250",
+                     help="comma-separated device names "
+                          f"(available: {', '.join(sorted(_DEVICES))})")
+    swp.add_argument("--precisions", default="MP",
+                     help="comma-separated mixed-precision presets "
+                          f"(available: {', '.join(MIXED_PRECISION_PRESETS)})")
+    swp.add_argument("--loops", default="1",
+                     help="comma-separated inference-loop counts to fuse")
+    swp.add_argument("--iter-max", type=int, default=8,
+                     help="Phase II iteration cap for every scenario")
+    swp.add_argument("--include", action="append", default=[], metavar="PAT",
+                     help="keep only scenario ids matching this fnmatch "
+                          "pattern (repeatable, e.g. 'nvsa@*')")
+    swp.add_argument("--exclude", action="append", default=[], metavar="PAT",
+                     help="drop scenario ids matching this fnmatch pattern "
+                          "(repeatable, e.g. '*@zcu104/*')")
+    swp.add_argument("--jobs", type=int, default=1,
+                     help="sweep-wide worker-process budget shared by every "
+                          "scenario's DSE (1 = serial)")
+    swp.add_argument("--cache-dir", type=pathlib.Path,
+                     default=pathlib.Path(".nsflow-cache"),
+                     help="artifact-store directory (default: .nsflow-cache)")
+    swp.add_argument("--no-cache", action="store_true",
+                     help="compile every scenario fresh; do not read or "
+                          "write the artifact store")
     return parser
 
 
@@ -185,6 +236,67 @@ def _cmd_compile(args: argparse.Namespace) -> int:
     return 0
 
 
+def _split_csv(text: str) -> tuple[str, ...]:
+    return tuple(part.strip() for part in text.split(",") if part.strip())
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    if args.jobs < 1:
+        print(f"error: --jobs must be >= 1, got {args.jobs}", file=sys.stderr)
+        return 1
+    try:
+        loops = tuple(int(v) for v in _split_csv(args.loops))
+    except ValueError:
+        print(f"error: --loops expects comma-separated integers, "
+              f"got {args.loops!r}", file=sys.stderr)
+        return 1
+    grid = ScenarioGrid(
+        workloads=_split_csv(args.workloads),
+        devices=tuple(d.lower() for d in _split_csv(args.devices)),
+        precisions=_split_csv(args.precisions),
+        loops=loops,
+        iter_maxes=(args.iter_max,),
+        include=tuple(args.include),
+        exclude=tuple(args.exclude),
+    )
+    specs = grid.expand()
+    if not specs:
+        print("error: grid is empty after include/exclude filtering",
+              file=sys.stderr)
+        return 1
+    store = None if args.no_cache else ArtifactStore(args.cache_dir)
+    total = len(specs)
+
+    def progress(outcome) -> None:
+        n = progress.count = getattr(progress, "count", 0) + 1
+        if not outcome.ok:
+            status = "ERROR"
+        elif outcome.cached:
+            status = "cached"
+        else:
+            status = "compiled"
+        tail = (
+            f"{outcome.latency_ms:10.3f} ms" if outcome.ok else outcome.error
+        )
+        print(f"[{n:>{len(str(total))}}/{total}] "
+              f"{outcome.scenario_id:<32} {status:<9} "
+              f"{outcome.elapsed_s:6.2f}s  {tail}")
+
+    result = run_sweep(grid, store=store, jobs=args.jobs, progress=progress)
+    print()
+    print(sweep_results_table(result))
+    if result.ok_outcomes():
+        print()
+        print(sweep_comparison_table(result))
+    print()
+    print(sweep_summary(result))
+    if store is not None:
+        print(f"Artifact store: {args.cache_dir} ({len(store)} entries)")
+    # Failure isolation keeps the sweep running, but scripts/CI must
+    # still see partial failures: any errored scenario fails the exit.
+    return 0 if result.n_errors == 0 else 1
+
+
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns a process exit code."""
     args = build_parser().parse_args(argv)
@@ -195,6 +307,8 @@ def main(argv: list[str] | None = None) -> int:
             return _cmd_characterize(args)
         if args.command == "compile":
             return _cmd_compile(args)
+        if args.command == "sweep":
+            return _cmd_sweep(args)
     except NSFlowError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 1

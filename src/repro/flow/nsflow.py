@@ -21,7 +21,14 @@ from ..arch.controller import Controller, ScheduleResult
 from ..arch.resources import FpgaDevice, ResourceEstimate, U250, estimate_resources
 from ..arch.rtlgen import generate_rtl_parameters
 from ..dse.config import DesignConfig
-from ..dse.engine import DseEngine, DseReport
+from ..dse.engine import (
+    DEFAULT_CLOCK_MHZ,
+    DEFAULT_RANGE_H,
+    DEFAULT_RANGE_W,
+    DseEngine,
+    DsePool,
+    DseReport,
+)
 from ..errors import ConfigError
 from ..graph.build import build_dataflow_graph, fuse_loops
 from ..graph.dataflow import DataflowGraph
@@ -65,12 +72,13 @@ class NSFlow:
         device: FpgaDevice = U250,
         precision: MixedPrecisionConfig | None = None,
         iter_max: int = 8,
-        clock_mhz: float = 272.0,
+        clock_mhz: float = DEFAULT_CLOCK_MHZ,
         max_pes: int | None = None,
-        range_h: tuple[int, int] = (4, 256),
-        range_w: tuple[int, int] = (4, 256),
+        range_h: tuple[int, int] = DEFAULT_RANGE_H,
+        range_w: tuple[int, int] = DEFAULT_RANGE_W,
         jobs: int = 1,
         pareto_k: int | None = None,
+        pool: DsePool | None = None,
     ):
         self.device = device
         self.precision = precision or MIXED_PRECISION_PRESETS["MP"]
@@ -81,6 +89,7 @@ class NSFlow:
         self.range_w = range_w
         self.jobs = jobs
         self.pareto_k = pareto_k
+        self.pool = pool
         if self.max_pes < 4:
             raise ConfigError(f"device {device.name} supports too few PEs")
 
@@ -106,6 +115,7 @@ class NSFlow:
             clock_mhz=self.clock_mhz,
             jobs=self.jobs,
             pareto_k=self.pareto_k,
+            pool=self.pool,
         )
         report = dse.explore(graph)
         config = report.config

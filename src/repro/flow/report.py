@@ -3,7 +3,11 @@
 Besides the generic :func:`format_table`, this module renders the DSE
 engine's Pareto frontier (:func:`pareto_frontier_table`): one row per
 non-dominated design point, ordered by ascending latency, with the
-area (PE count) and energy (PE·cycle) proxies alongside.
+area (PE count) and energy (PE·cycle) proxies alongside — and the
+scenario-sweep reports (:func:`sweep_results_table`,
+:func:`sweep_comparison_table`, :func:`sweep_summary`): per-scenario
+results, cross-scenario winners per workload, and the cache counters
+that audit a sweep's warm/cold behavior.
 """
 
 from __future__ import annotations
@@ -15,8 +19,16 @@ from ..errors import ConfigError
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..dse.engine import ParetoFrontier
+    from .sweep import SweepResult
 
-__all__ = ["format_table", "speedup_table", "pareto_frontier_table"]
+__all__ = [
+    "format_table",
+    "speedup_table",
+    "pareto_frontier_table",
+    "sweep_results_table",
+    "sweep_comparison_table",
+    "sweep_summary",
+]
 
 
 def format_table(
@@ -90,6 +102,148 @@ def pareto_frontier_table(
         rows,
         title=title,
     )
+
+
+def sweep_results_table(result: "SweepResult", title: str | None = None) -> str:
+    """One row per sweep scenario: design point, latency, provenance.
+
+    ``Source`` distinguishes fresh compilations from artifact-cache hits;
+    ``Evals`` counts the Phase-I model evaluations the scenario actually
+    paid for (always 0 on a hit); ``vs best`` is the latency delta
+    against the same workload's fastest scenario, so device/precision
+    penalties read directly off the table. Error rows keep their slot —
+    failure isolation means a sweep report always accounts for every
+    scenario it was asked to run.
+    """
+    best_by_workload: dict[str, float] = {}
+    for o in result.ok_outcomes():
+        lat = o.latency_ms
+        prev = best_by_workload.get(o.spec.workload)
+        if prev is None or lat < prev:
+            best_by_workload[o.spec.workload] = lat
+    rows = []
+    for o in result.outcomes:
+        if o.ok:
+            assert o.artifacts is not None
+            c = o.artifacts.config
+            best = best_by_workload[o.spec.workload]
+            delta = (
+                "best" if o.latency_ms <= best
+                else f"+{100 * (o.latency_ms / best - 1):.1f}%"
+            )
+            rows.append([
+                o.scenario_id,
+                "ok",
+                "cache" if o.cached else "fresh",
+                str(c.geometry),
+                c.mode.value,
+                c.default_partition if c.mode.value == "parallel" else "-",
+                c.simd_width,
+                f"{o.latency_ms:.3f}",
+                f"{o.artifacts.resources.dsp_pct:.0f}%",
+                f"{o.evaluations:,}",
+                delta,
+            ])
+        else:
+            rows.append([
+                o.scenario_id, "ERROR", "-", "-", "-", "-", "-", "-", "-",
+                "0", "-",
+            ])
+    table = format_table(
+        ["Scenario", "Status", "Source", "(H, W, N)", "Mode", "Nl:Nv",
+         "SIMD", "Latency (ms)", "DSP", "Evals", "vs best"],
+        rows,
+        title=title or "Sweep results",
+    )
+    errors = [
+        f"  {o.scenario_id}: {o.error}" for o in result.outcomes if not o.ok
+    ]
+    if errors:
+        table += "\n\nScenario errors:\n" + "\n".join(errors)
+    return table
+
+
+def sweep_comparison_table(result: "SweepResult", title: str | None = None) -> str:
+    """Cross-scenario winners per workload on the three DSE objectives.
+
+    For every workload the sweep covered: the latency-winning scenario
+    (scheduled end-to-end latency), and the area- and energy-winning
+    scenarios judged by the best point on each scenario's Pareto
+    frontier. ``Spread`` is the max/min latency ratio across the
+    workload's scenarios — the cost of the worst device/precision choice
+    relative to the best.
+    """
+    workloads: list[str] = []
+    for o in result.ok_outcomes():
+        if o.spec.workload not in workloads:
+            workloads.append(o.spec.workload)
+    rows = []
+    for workload in workloads:
+        outs = result.for_workload(workload)
+        by_latency = min(outs, key=lambda o: o.latency_ms)
+        with_frontier = [
+            o for o in outs
+            if o.artifacts is not None and o.artifacts.report.pareto
+        ]
+        if with_frontier:
+            def min_area(o):
+                return min(p.area for p in o.artifacts.report.pareto)
+
+            def min_energy(o):
+                return min(p.energy_proxy for p in o.artifacts.report.pareto)
+
+            by_area = min(with_frontier, key=min_area)
+            by_energy = min(with_frontier, key=min_energy)
+            area_cell = f"{min_area(by_area):,} @ {by_area.spec.device}/{by_area.spec.precision}"
+            energy_cell = (
+                f"{min_energy(by_energy):.2e} @ "
+                f"{by_energy.spec.device}/{by_energy.spec.precision}"
+            )
+        else:
+            area_cell = energy_cell = "-"
+        lats = [o.latency_ms for o in outs]
+        spread = f"{max(lats) / min(lats):.2f}x" if min(lats) > 0 else "-"
+        rows.append([
+            workload,
+            len(outs),
+            f"{by_latency.latency_ms:.3f} @ "
+            f"{by_latency.spec.device}/{by_latency.spec.precision}",
+            area_cell,
+            energy_cell,
+            spread,
+        ])
+    return format_table(
+        ["Workload", "Scen", "Best latency (ms)", "Best area (PE-eq)",
+         "Best energy", "Spread"],
+        rows,
+        title=title or "Cross-scenario comparison (winners per workload)",
+    )
+
+
+def sweep_summary(result: "SweepResult") -> str:
+    """The audit lines every sweep ends with: counts and cache counters.
+
+    A warm re-run of an identical grid must show every scenario under
+    "cache hits" and *zero* fresh DSE evaluations — that is the
+    near-instant-warm-sweep guarantee, checkable straight from this
+    output.
+    """
+    lines = [
+        f"Sweep: {result.n_scenarios} scenarios in {result.elapsed_s:.2f} s — "
+        f"{result.n_compiled} compiled, {result.n_cached} cache hits, "
+        f"{result.n_errors} errors",
+    ]
+    if result.store_stats is not None:
+        s = result.store_stats
+        lines.append(
+            f"Artifact cache: {s.hits} hits / {s.misses} misses / "
+            f"{s.stores} stored"
+        )
+    lines.append(
+        f"Fresh DSE evaluations: {result.total_evaluations:,} candidate "
+        f"models ({result.fresh_model_evaluations:,} model-cache misses)"
+    )
+    return "\n".join(lines)
 
 
 def speedup_table(

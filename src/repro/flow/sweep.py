@@ -1,0 +1,395 @@
+"""Batched scenario-sweep orchestrator over the NSFlow toolchain.
+
+The paper's headline claims are comparative — Table I workloads across
+devices, precisions, and design points — but ``NSFlow.compile`` runs one
+(workload, device) pair at a time. This module runs *grids* of end-to-end
+compilations:
+
+* :class:`ScenarioGrid` declares a cartesian product of workloads ×
+  devices × mixed-precision presets × DSE knobs, with ``fnmatch``-style
+  include/exclude filters over scenario ids;
+* :func:`run_sweep` compiles every scenario through one shared
+  :class:`~repro.dse.engine.DsePool` (a single ``jobs`` budget for the
+  whole sweep), isolates per-scenario failures (a bad scenario yields a
+  recorded error, never an aborted sweep), and — given an
+  :class:`~repro.flow.artifacts.ArtifactStore` — reuses any scenario the
+  store has already seen, so overlapping or repeated grids only compile
+  the delta.
+
+Determinism: scenarios are expanded and executed in declaration order
+(workload-major, then device, precision, loops, iter_max, max_pes), and
+each compilation is bit-identical for any ``jobs`` value (the engine
+guarantee), so a sweep's results are a pure function of its grid.
+"""
+
+from __future__ import annotations
+
+import fnmatch
+import time
+from collections.abc import Callable, Sequence
+from dataclasses import dataclass, field
+
+from ..arch.resources import FPGA_DEVICES, FpgaDevice
+from ..dse.engine import (
+    DEFAULT_CLOCK_MHZ,
+    DEFAULT_RANGE_H,
+    DEFAULT_RANGE_W,
+    DsePool,
+)
+from ..errors import ConfigError
+from ..model.cache import counters_snapshot, fresh_evaluations_since
+from ..quant import MIXED_PRECISION_PRESETS, MixedPrecisionConfig
+from ..utils import jsonable, stable_digest
+from ..workloads import available_workloads, build_workload, workload_config
+from .artifacts import (
+    ArtifactStore,
+    ScenarioArtifacts,
+    StoreStats,
+    _key_doc,
+)
+from .nsflow import NSFlow
+
+__all__ = [
+    "ScenarioSpec",
+    "ScenarioGrid",
+    "ScenarioOutcome",
+    "SweepResult",
+    "run_sweep",
+]
+
+
+@dataclass(frozen=True)
+class ScenarioSpec:
+    """One point of a sweep: everything that identifies a compilation.
+
+    ``max_pes=None`` defers to the device's DSP budget (the paper's
+    ``M``); ``overrides`` are workload-config overrides as a sorted
+    tuple of ``(field, value)`` pairs so specs stay hashable.
+    """
+
+    workload: str
+    device: str = "u250"
+    precision: str = "MP"
+    iter_max: int = 8
+    loops: int = 1
+    max_pes: int | None = None
+    overrides: tuple[tuple[str, object], ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.workload not in available_workloads():
+            raise ConfigError(
+                f"unknown workload {self.workload!r}; "
+                f"available: {', '.join(available_workloads())}"
+            )
+        if self.device not in FPGA_DEVICES:
+            raise ConfigError(
+                f"unknown device {self.device!r}; "
+                f"available: {', '.join(FPGA_DEVICES)}"
+            )
+        if self.precision not in MIXED_PRECISION_PRESETS:
+            raise ConfigError(
+                f"unknown precision {self.precision!r}; "
+                f"available: {', '.join(MIXED_PRECISION_PRESETS)}"
+            )
+        if self.iter_max < 1:
+            raise ConfigError(f"iter_max must be >= 1, got {self.iter_max}")
+        if self.loops < 1:
+            raise ConfigError(f"loops must be >= 1, got {self.loops}")
+        object.__setattr__(
+            self, "overrides", tuple(sorted(tuple(self.overrides)))
+        )
+
+    @property
+    def scenario_id(self) -> str:
+        """Human-readable, filterable identity: ``nvsa@u250/MP[...]``."""
+        sid = f"{self.workload}@{self.device}/{self.precision}"
+        if self.loops != 1:
+            sid += f"/loops{self.loops}"
+        if self.iter_max != 8:
+            sid += f"/iter{self.iter_max}"
+        if self.max_pes is not None:
+            sid += f"/pes{self.max_pes}"
+        if self.overrides:
+            sid += "/" + ",".join(f"{k}={v}" for k, v in self.overrides)
+        return sid
+
+    @property
+    def device_obj(self) -> FpgaDevice:
+        return FPGA_DEVICES[self.device]
+
+    @property
+    def precision_obj(self) -> MixedPrecisionConfig:
+        return MIXED_PRECISION_PRESETS[self.precision]
+
+    def resolved_max_pes(self) -> int:
+        return self.max_pes or self.device_obj.max_pes()
+
+    def key_doc(self) -> dict:
+        """The cache key's input document (see ``artifacts.scenario_cache_key``).
+
+        Clock and H/W ranges come from the engine-level defaults that
+        ``NSFlow``/``DseEngine`` actually compile with, so a changed
+        default invalidates the cache rather than serving stale hits.
+        """
+        return _key_doc(
+            workload=self.workload,
+            workload_config=jsonable(
+                workload_config(self.workload, **dict(self.overrides))
+            ),
+            device=self.device_obj,
+            precision=self.precision_obj,
+            iter_max=self.iter_max,
+            loops=self.loops,
+            max_pes=self.resolved_max_pes(),
+            clock_mhz=DEFAULT_CLOCK_MHZ,
+            range_h=DEFAULT_RANGE_H,
+            range_w=DEFAULT_RANGE_W,
+        )
+
+    def cache_key(self) -> str:
+        """Hash of :meth:`key_doc` — one assembly site, so the stored
+        ``meta.json`` inputs always match the hash the entry lives under."""
+        return stable_digest(self.key_doc(), length=32)
+
+
+def _as_tuple(value) -> tuple:
+    if isinstance(value, (str, bytes)):
+        raise ConfigError(
+            f"grid axis must be a sequence of values, got the string {value!r} "
+            "(did you mean a one-element tuple?)"
+        )
+    return tuple(value)
+
+
+@dataclass(frozen=True)
+class ScenarioGrid:
+    """Declarative cartesian product of sweep axes with id filters.
+
+    ``include``/``exclude`` are ``fnmatch`` patterns matched against each
+    scenario's :attr:`ScenarioSpec.scenario_id` (e.g. ``"nvsa@*"``,
+    ``"*@zcu104/*"``, ``"*/INT4"``). A scenario survives when it matches
+    at least one include pattern (or ``include`` is empty) and no exclude
+    pattern. Axis values keep their declaration order — that order *is*
+    the sweep's execution order.
+    """
+
+    workloads: tuple[str, ...]
+    devices: tuple[str, ...] = ("u250",)
+    precisions: tuple[str, ...] = ("MP",)
+    loops: tuple[int, ...] = (1,)
+    iter_maxes: tuple[int, ...] = (8,)
+    max_pes: tuple[int | None, ...] = (None,)
+    overrides: tuple[tuple[str, object], ...] = ()
+    include: tuple[str, ...] = ()
+    exclude: tuple[str, ...] = ()
+
+    def __post_init__(self) -> None:
+        for name in (
+            "workloads", "devices", "precisions", "loops", "iter_maxes",
+            "max_pes", "include", "exclude",
+        ):
+            object.__setattr__(self, name, _as_tuple(getattr(self, name)))
+        object.__setattr__(self, "overrides", tuple(self.overrides))
+        for axis in ("workloads", "devices", "precisions", "loops", "iter_maxes",
+                     "max_pes"):
+            if not getattr(self, axis):
+                raise ConfigError(f"grid axis {axis!r} must be non-empty")
+
+    def _selected(self, sid: str) -> bool:
+        if self.include and not any(
+            fnmatch.fnmatchcase(sid, pat) for pat in self.include
+        ):
+            return False
+        return not any(fnmatch.fnmatchcase(sid, pat) for pat in self.exclude)
+
+    def expand(self) -> list[ScenarioSpec]:
+        """The grid's scenarios, in deterministic workload-major order.
+
+        Specs are validated on construction, so an unknown workload /
+        device / precision fails here — before any compilation starts —
+        rather than surfacing as N per-scenario errors mid-sweep.
+        """
+        specs = []
+        for workload in self.workloads:
+            for device in self.devices:
+                for precision in self.precisions:
+                    for loops in self.loops:
+                        for iter_max in self.iter_maxes:
+                            for pes in self.max_pes:
+                                spec = ScenarioSpec(
+                                    workload=workload,
+                                    device=device,
+                                    precision=precision,
+                                    iter_max=iter_max,
+                                    loops=loops,
+                                    max_pes=pes,
+                                    overrides=self.overrides,
+                                )
+                                if self._selected(spec.scenario_id):
+                                    specs.append(spec)
+        return specs
+
+    def __len__(self) -> int:
+        return len(self.expand())
+
+
+@dataclass(frozen=True)
+class ScenarioOutcome:
+    """What one scenario produced: artifacts, provenance, or an error."""
+
+    spec: ScenarioSpec
+    key: str
+    cached: bool
+    artifacts: ScenarioArtifacts | None
+    error: str | None
+    evaluations: int          # fresh Phase-I model evaluations (0 if cached)
+    elapsed_s: float
+
+    @property
+    def ok(self) -> bool:
+        return self.error is None
+
+    @property
+    def scenario_id(self) -> str:
+        return self.spec.scenario_id
+
+    @property
+    def latency_ms(self) -> float:
+        if self.artifacts is None:
+            raise ConfigError(f"scenario {self.scenario_id} has no artifacts")
+        return self.artifacts.latency_ms
+
+
+@dataclass
+class SweepResult:
+    """All outcomes of one sweep plus the counters that audit it."""
+
+    outcomes: list[ScenarioOutcome] = field(default_factory=list)
+    store_stats: StoreStats | None = None
+    fresh_model_evaluations: int = 0
+    elapsed_s: float = 0.0
+
+    @property
+    def n_scenarios(self) -> int:
+        return len(self.outcomes)
+
+    @property
+    def n_cached(self) -> int:
+        return sum(1 for o in self.outcomes if o.cached)
+
+    @property
+    def n_compiled(self) -> int:
+        return sum(1 for o in self.outcomes if o.ok and not o.cached)
+
+    @property
+    def n_errors(self) -> int:
+        return sum(1 for o in self.outcomes if not o.ok)
+
+    @property
+    def total_evaluations(self) -> int:
+        """Candidate model evaluations spent by freshly compiled scenarios."""
+        return sum(o.evaluations for o in self.outcomes)
+
+    def ok_outcomes(self) -> list[ScenarioOutcome]:
+        return [o for o in self.outcomes if o.ok]
+
+    def for_workload(self, workload: str) -> list[ScenarioOutcome]:
+        return [o for o in self.ok_outcomes() if o.spec.workload == workload]
+
+
+def _compile_scenario(spec: ScenarioSpec, pool: DsePool) -> tuple:
+    """Run the full toolchain for one scenario on the shared pool."""
+    from .nsflow import CompiledDesign  # noqa: F401  (documentation anchor)
+
+    workload = build_workload(spec.workload, **dict(spec.overrides))
+    nsf = NSFlow(
+        device=spec.device_obj,
+        precision=spec.precision_obj,
+        iter_max=spec.iter_max,
+        max_pes=spec.max_pes,
+        pool=pool,
+        pareto_k=None,   # always keep the full frontier; render-time truncation
+    )
+    design = nsf.compile(workload, n_loops=spec.loops)
+    artifacts = ScenarioArtifacts(
+        trace=design.trace,
+        config=design.config,
+        report=design.dse,
+        resources=design.resources,
+        total_cycles=design.schedule.total_cycles,
+        latency_ms=design.latency_ms,
+    )
+    return design, artifacts
+
+
+def run_sweep(
+    grid: ScenarioGrid | Sequence[ScenarioSpec],
+    *,
+    store: ArtifactStore | None = None,
+    jobs: int = 1,
+    progress: Callable[[ScenarioOutcome], None] | None = None,
+) -> SweepResult:
+    """Compile every scenario of ``grid``, reusing cached artifacts.
+
+    Parameters
+    ----------
+    grid:
+        A :class:`ScenarioGrid` or an explicit scenario list (already in
+        the desired order).
+    store:
+        Optional :class:`ArtifactStore`. When given, each scenario is
+        first looked up by content key; hits skip trace extraction, DSE,
+        and backend instantiation entirely, and fresh compilations are
+        persisted for the next sweep.
+    jobs:
+        The sweep-wide worker budget. One :class:`DsePool` is shared by
+        every scenario's engine, so ``jobs=4`` means four processes
+        total — not four per scenario.
+    progress:
+        Optional callback invoked with each :class:`ScenarioOutcome` as
+        it completes (the CLI uses this for live per-scenario lines).
+
+    Failure isolation: any exception from one scenario (trace extraction,
+    DSE, backend, artifact I/O) is recorded on its outcome; remaining
+    scenarios still run.
+    """
+    specs = list(grid.expand() if isinstance(grid, ScenarioGrid) else grid)
+    result = SweepResult()
+    snapshot = counters_snapshot()
+    t_start = time.perf_counter()
+    with DsePool(jobs) as pool:
+        for spec in specs:
+            t0 = time.perf_counter()
+            key = ""
+            try:
+                key = spec.cache_key()
+                cached = store.load(key) if store is not None else None
+                if cached is not None:
+                    outcome = ScenarioOutcome(
+                        spec=spec, key=key, cached=True, artifacts=cached,
+                        error=None, evaluations=0,
+                        elapsed_s=time.perf_counter() - t0,
+                    )
+                else:
+                    design, artifacts = _compile_scenario(spec, pool)
+                    if store is not None:
+                        store.store(key, design, spec.key_doc())
+                    outcome = ScenarioOutcome(
+                        spec=spec, key=key, cached=False, artifacts=artifacts,
+                        error=None,
+                        evaluations=design.dse.phase1.candidates_evaluated,
+                        elapsed_s=time.perf_counter() - t0,
+                    )
+            except Exception as exc:   # noqa: BLE001 - isolation is the point
+                outcome = ScenarioOutcome(
+                    spec=spec, key=key, cached=False, artifacts=None,
+                    error=f"{type(exc).__name__}: {exc}", evaluations=0,
+                    elapsed_s=time.perf_counter() - t0,
+                )
+            result.outcomes.append(outcome)
+            if progress is not None:
+                progress(outcome)
+    result.elapsed_s = time.perf_counter() - t_start
+    result.fresh_model_evaluations = fresh_evaluations_since(snapshot)
+    result.store_stats = store.stats if store is not None else None
+    return result

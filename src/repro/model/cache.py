@@ -46,6 +46,8 @@ __all__ = [
     "cached_plan_memory",
     "cached_simd_width",
     "cache_stats",
+    "counters_snapshot",
+    "fresh_evaluations_since",
     "clear_model_caches",
     "LAYER_RUNTIME_CACHE",
     "VSA_RUNTIME_CACHE",
@@ -222,6 +224,28 @@ def cached_simd_width(
 def cache_stats() -> dict[str, CacheStats]:
     """Counters for every registered model cache, keyed by cache name."""
     return {name: cache.stats for name, cache in _REGISTRY.items()}
+
+
+def counters_snapshot() -> dict[str, tuple[int, int]]:
+    """Point-in-time ``(hits, misses)`` per cache.
+
+    The persistence layer (``repro.flow.sweep``) takes one snapshot
+    before and one after a sweep; the miss delta is the number of fresh
+    model evaluations the sweep actually performed — the number a fully
+    warm artifact cache must drive to zero.
+    """
+    return {name: (c.hits, c.misses) for name, c in _REGISTRY.items()}
+
+
+def fresh_evaluations_since(snapshot: dict[str, tuple[int, int]]) -> int:
+    """Total new cache *misses* since ``snapshot`` (each miss computed a
+    model result from scratch). Caches cleared or created after the
+    snapshot count from zero."""
+    total = 0
+    for name, cache in _REGISTRY.items():
+        _, misses_then = snapshot.get(name, (0, 0))
+        total += max(0, cache.misses - misses_then)
+    return total
 
 
 def clear_model_caches() -> None:

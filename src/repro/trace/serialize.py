@@ -7,13 +7,19 @@ are reproduced here; JSON is lossless, the listing is for humans.
 
 from __future__ import annotations
 
+import hashlib
 import json
 
 from ..errors import TraceError
 from ..nn.gemm import GemmDims
 from .opnode import ExecutionUnit, OpDomain, Trace, TraceOp, VsaDims
 
-__all__ = ["trace_to_json", "trace_from_json", "trace_to_listing"]
+__all__ = [
+    "trace_to_json",
+    "trace_from_json",
+    "trace_to_listing",
+    "trace_fingerprint",
+]
 
 _FORMAT_VERSION = 1
 
@@ -85,6 +91,19 @@ def trace_from_json(text: str) -> Trace:
         raise TraceError(f"unsupported trace format version {version!r}")
     ops = [_op_from_dict(d) for d in doc["ops"]]
     return Trace(doc["workload"], ops)
+
+
+def trace_fingerprint(trace: Trace, length: int = 16) -> str:
+    """Stable content digest of a trace's lossless JSON form.
+
+    Two traces fingerprint equal iff :func:`trace_to_json` renders them
+    identically — op order included, since order is semantic (it encodes
+    the program). The artifact store records it at store time and
+    re-checks it on load (entry integrity); tests use it to audit that
+    ``build_trace()`` is a pure function of the workload config.
+    """
+    doc = trace_to_json(trace, indent=None)
+    return hashlib.sha256(doc.encode("utf-8")).hexdigest()[:length]
 
 
 def _shape_suffix(shape: tuple[int, ...]) -> str:

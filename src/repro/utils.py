@@ -2,6 +2,10 @@
 
 from __future__ import annotations
 
+import dataclasses
+import enum
+import hashlib
+import json
 import math
 from collections.abc import Iterable, Sequence
 
@@ -20,6 +24,9 @@ __all__ = [
     "make_rng",
     "normalize",
     "topk_indices",
+    "jsonable",
+    "canonical_json",
+    "stable_digest",
     "MB",
     "KB",
 ]
@@ -108,6 +115,63 @@ def topk_indices(scores: Sequence[float] | np.ndarray, k: int) -> list[int]:
         raise ConfigError(f"k={k} out of range for {arr.size} scores")
     order = np.argsort(-arr, kind="stable")
     return [int(i) for i in order[:k]]
+
+
+def jsonable(obj: object) -> object:
+    """Convert a config-style value into plain JSON types, recursively.
+
+    Handles the vocabulary the repo's frozen config dataclasses use:
+    dataclasses (by field), Enums (by ``value``), mappings keyed by
+    strings, tuples/lists/sets (sets are sorted for determinism), numpy
+    scalars, and JSON primitives. Anything else is rejected so an
+    unhashable or ambiguous config field fails loudly instead of
+    silently weakening a cache key.
+    """
+    if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
+        return {
+            f.name: jsonable(getattr(obj, f.name))
+            for f in dataclasses.fields(obj)
+        }
+    if isinstance(obj, enum.Enum):
+        return jsonable(obj.value)
+    if isinstance(obj, dict):
+        out = {}
+        for k, v in obj.items():
+            if not isinstance(k, str):
+                raise ConfigError(f"non-string dict key {k!r} in config value")
+            out[k] = jsonable(v)
+        return out
+    if isinstance(obj, (list, tuple)):
+        return [jsonable(v) for v in obj]
+    if isinstance(obj, (set, frozenset)):
+        return sorted(jsonable(v) for v in obj)  # type: ignore[type-var]
+    if isinstance(obj, np.generic):
+        return obj.item()
+    if obj is None or isinstance(obj, (bool, int, float, str)):
+        return obj
+    raise ConfigError(f"value {obj!r} of type {type(obj).__name__} is not JSON-able")
+
+
+def canonical_json(obj: object) -> str:
+    """Deterministic JSON rendering used for content-addressed keys.
+
+    Keys are sorted and separators fixed, so equal values always render
+    to the same byte string regardless of construction order.
+    """
+    return json.dumps(jsonable(obj), sort_keys=True, separators=(",", ":"))
+
+
+def stable_digest(obj: object, length: int = 16) -> str:
+    """SHA-256 hex digest of :func:`canonical_json`, truncated to ``length``.
+
+    Unlike Python's ``hash()``, this survives process restarts (no string
+    hash randomization) — it is the identity the on-disk artifact store
+    keys on. 16 hex chars (64 bits) keeps directory names short while a
+    collision within one cache directory stays vanishingly unlikely.
+    """
+    if length < 8 or length > 64:
+        raise ConfigError(f"digest length must be in [8, 64], got {length}")
+    return hashlib.sha256(canonical_json(obj).encode("utf-8")).hexdigest()[:length]
 
 
 def geomean(values: Sequence[float]) -> float:

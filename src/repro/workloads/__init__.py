@@ -23,7 +23,7 @@ from .mimonet import MimoNetConfig, MimoNetWorkload
 from .lvrf import LvrfConfig, LvrfWorkload
 from .prae import PraeConfig, PraeWorkload
 from .scaling import ScalableConfig, ScalableNsaiWorkload
-from .registry import available_workloads, build_workload
+from .registry import available_workloads, build_workload, workload_config
 
 __all__ = [
     "NSAIWorkload",
@@ -41,4 +41,5 @@ __all__ = [
     "ScalableNsaiWorkload",
     "available_workloads",
     "build_workload",
+    "workload_config",
 ]

@@ -17,6 +17,7 @@ import abc
 from dataclasses import dataclass
 
 from ..trace.opnode import OpDomain, Trace
+from ..utils import jsonable, stable_digest
 
 __all__ = ["WorkloadProfile", "NSAIWorkload"]
 
@@ -62,6 +63,28 @@ class NSAIWorkload(abc.ABC):
     @abc.abstractmethod
     def component_elements(self) -> dict[str, int]:
         """Stored elements per component tag (``neural`` / ``symbolic``)."""
+
+    def config_dict(self) -> dict:
+        """Canonical JSON-able rendering of the workload's deployment config.
+
+        The Table I workloads all carry a frozen config dataclass in
+        ``self.config``; its fields (including nested precision configs)
+        are converted to plain JSON types so two workloads built from
+        equal configs render identically. Workloads without a ``config``
+        attribute (hand-rolled traceable programs) contribute an empty
+        dict — their identity is the registry name alone.
+        """
+        cfg = getattr(self, "config", None)
+        if cfg is None:
+            return {}
+        out = jsonable(cfg)
+        assert isinstance(out, dict)
+        return out
+
+    def fingerprint(self) -> str:
+        """Stable content digest of (name, config) — the sweep cache's
+        workload identity component (see :func:`repro.utils.stable_digest`)."""
+        return stable_digest({"name": self.name, "config": self.config_dict()})
 
     def profile(self) -> WorkloadProfile:
         """FLOP/byte rollup computed from the trace."""

@@ -12,7 +12,7 @@ from .nvsa import NvsaConfig, NvsaWorkload
 from .prae import PraeConfig, PraeWorkload
 from .scaling import ScalableConfig, ScalableNsaiWorkload
 
-__all__ = ["available_workloads", "build_workload"]
+__all__ = ["available_workloads", "build_workload", "workload_config"]
 
 _FACTORIES: dict[str, Callable[..., NSAIWorkload]] = {
     "nvsa": lambda **kw: NvsaWorkload(NvsaConfig(**kw)) if kw else NvsaWorkload(),
@@ -22,6 +22,17 @@ _FACTORIES: dict[str, Callable[..., NSAIWorkload]] = {
     "scalable_nsai": lambda **kw: (
         ScalableNsaiWorkload(ScalableConfig(**kw)) if kw else ScalableNsaiWorkload()
     ),
+}
+
+#: Config dataclass per registry name. The sweep layer resolves these to
+#: build cache keys without paying for workload construction (weights,
+#: codebooks) on warm-cache paths.
+_CONFIG_TYPES: dict[str, type] = {
+    "nvsa": NvsaConfig,
+    "mimonet": MimoNetConfig,
+    "lvrf": LvrfConfig,
+    "prae": PraeConfig,
+    "scalable_nsai": ScalableConfig,
 }
 
 
@@ -39,3 +50,25 @@ def build_workload(name: str, **config_overrides) -> NSAIWorkload:
             f"unknown workload {name!r}; available: {', '.join(_FACTORIES)}"
         ) from exc
     return factory(**config_overrides)
+
+
+def workload_config(name: str, **config_overrides):
+    """The fully-resolved config dataclass for a registry workload.
+
+    Resolving the config (defaults + overrides) without instantiating the
+    workload keeps cache-key computation cheap: the sweep layer only
+    builds the actual workload (CNN weights, codebooks, ...) when a
+    scenario misses the artifact cache.
+    """
+    try:
+        config_type = _CONFIG_TYPES[name.lower()]
+    except KeyError as exc:
+        raise ConfigError(
+            f"unknown workload {name!r}; available: {', '.join(_CONFIG_TYPES)}"
+        ) from exc
+    try:
+        return config_type(**config_overrides)
+    except TypeError as exc:
+        raise ConfigError(
+            f"bad config override for workload {name!r}: {exc}"
+        ) from exc

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.dse import DseEngine, ExecutionMode, TwoPhaseDSE, pareto_filter
+from repro.dse import DseEngine, DsePool, ExecutionMode, TwoPhaseDSE, pareto_filter
 from repro.dse.engine import ParetoPoint, area_pe_equiv
 from repro.dse.phase1 import run_phase1
 from repro.errors import DSEError
@@ -173,6 +173,37 @@ class TestParallelEquality:
     def test_pareto_k_zero_means_full_frontier(self, tiny_graph):
         full = _tiny_engine(pareto_k=0).explore(tiny_graph).pareto
         assert len(full) == full.non_dominated
+
+
+class TestDsePool:
+    def test_serial_pool_runs_in_process(self):
+        with DsePool(jobs=1) as pool:
+            assert pool.map(lambda x: x * 2, [1, 2, 3]) == [2, 4, 6]
+
+    def test_shared_pool_matches_private_executor(self, tiny_graph):
+        serial = _tiny_engine(jobs=1).explore(tiny_graph)
+        with DsePool(jobs=2) as pool:
+            first = _tiny_engine(pool=pool).explore(tiny_graph)
+            second = _tiny_engine(pool=pool).explore(tiny_graph)
+        assert first.config == serial.config
+        assert first.pareto == serial.pareto
+        assert second.config == serial.config
+
+    def test_pool_jobs_budget_overrides_engine_jobs(self):
+        with DsePool(jobs=3) as pool:
+            engine = _tiny_engine(jobs=1, pool=pool)
+            assert engine.jobs == 3
+
+    def test_closed_pool_raises(self):
+        pool = DsePool(jobs=1)
+        pool.close()
+        assert pool.closed
+        with pytest.raises(DSEError):
+            pool.map(lambda x: x, [1])
+
+    def test_invalid_jobs(self):
+        with pytest.raises(DSEError):
+            DsePool(jobs=0)
 
 
 class TestCaching:

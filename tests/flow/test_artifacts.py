@@ -1,0 +1,126 @@
+"""Unit tests for the content-addressed artifact store."""
+
+import json
+
+import pytest
+
+from repro import NSFlow, build_workload
+from repro.arch.resources import U250, ZCU104
+from repro.flow.artifacts import (
+    ARTIFACT_FORMAT_VERSION,
+    ArtifactStore,
+    scenario_cache_key,
+)
+from repro.quant import MIXED_PRECISION_PRESETS
+from repro.utils import jsonable
+from repro.workloads import workload_config
+
+
+def _key(**overrides):
+    kwargs = dict(
+        workload="mimonet",
+        workload_config=jsonable(workload_config("mimonet")),
+        device=U250,
+        precision=MIXED_PRECISION_PRESETS["MP"],
+        iter_max=8,
+        loops=1,
+        max_pes=8192,
+    )
+    kwargs.update(overrides)
+    return scenario_cache_key(**kwargs)
+
+
+@pytest.fixture(scope="module")
+def compiled():
+    return NSFlow(device=U250).compile(build_workload("mimonet"))
+
+
+class TestCacheKey:
+    def test_deterministic(self):
+        assert _key() == _key()
+
+    def test_sensitive_to_every_input(self):
+        base = _key()
+        assert _key(workload="nvsa",
+                    workload_config=jsonable(workload_config("nvsa"))) != base
+        assert _key(device=ZCU104) != base
+        assert _key(precision=MIXED_PRECISION_PRESETS["INT8"]) != base
+        assert _key(iter_max=4) != base
+        assert _key(loops=2) != base
+        assert _key(max_pes=1024) != base
+
+    def test_config_override_changes_key(self):
+        cfg = jsonable(workload_config("mimonet", superposition=4))
+        assert _key(workload_config=cfg) != _key()
+
+    def test_key_is_hex(self):
+        key = _key()
+        assert len(key) == 32
+        int(key, 16)  # parses as hex
+
+
+class TestArtifactStore:
+    def test_miss_then_hit_roundtrip(self, tmp_path, compiled):
+        store = ArtifactStore(tmp_path)
+        key = _key()
+        assert store.load(key) is None
+        store.store(key, compiled, {"any": "doc"})
+        art = store.load(key)
+        assert art is not None
+        assert art.config == compiled.config
+        assert art.resources == compiled.resources
+        assert art.report.pareto == compiled.dse.pareto
+        assert art.report.phase1 == compiled.dse.phase1
+        assert art.report.phase2 == compiled.dse.phase2
+        assert art.latency_ms == compiled.latency_ms
+        assert len(art.trace) == len(compiled.trace)
+        assert store.stats.hits == 1
+        assert store.stats.misses == 1
+        assert store.stats.stores == 1
+        assert len(store) == 1
+
+    def test_tampered_trace_is_a_miss(self, tmp_path, compiled):
+        """In-place edits of an entry's trace fail the fingerprint audit."""
+        from repro.trace.serialize import trace_from_json, trace_to_json
+
+        store = ArtifactStore(tmp_path)
+        key = _key()
+        store.store(key, compiled, {})
+        trace_path = store.path_for(key) / "trace.json"
+        doc = json.loads(trace_path.read_text())
+        doc["ops"] = doc["ops"][:-1]  # drop an op; still valid JSON/schema
+        trace_path.write_text(json.dumps(doc))
+        assert trace_from_json(trace_path.read_text()) is not None  # parses
+        assert store.load(key) is None  # ...but fails the integrity audit
+
+    def test_corrupt_entry_is_a_miss(self, tmp_path, compiled):
+        store = ArtifactStore(tmp_path)
+        key = _key()
+        store.store(key, compiled, {})
+        (store.path_for(key) / "report.json").write_text("{ truncated")
+        assert store.load(key) is None
+
+    def test_format_version_skew_is_a_miss(self, tmp_path, compiled):
+        store = ArtifactStore(tmp_path)
+        key = _key()
+        path = store.store(key, compiled, {})
+        meta = json.loads((path / "meta.json").read_text())
+        meta["format"] = ARTIFACT_FORMAT_VERSION + 1
+        (path / "meta.json").write_text(json.dumps(meta))
+        assert store.load(key) is None
+
+    def test_store_overwrites_stale_entry(self, tmp_path, compiled):
+        store = ArtifactStore(tmp_path)
+        key = _key()
+        store.store(key, compiled, {})
+        (store.path_for(key) / "report.json").write_text("garbage")
+        store.store(key, compiled, {})
+        assert store.load(key) is not None
+
+    def test_has_does_not_touch_counters(self, tmp_path, compiled):
+        store = ArtifactStore(tmp_path)
+        key = _key()
+        assert not store.has(key)
+        store.store(key, compiled, {})
+        assert store.has(key)
+        assert store.stats.lookups == 0

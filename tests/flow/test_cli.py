@@ -22,6 +22,22 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args([])
 
+    def test_sweep_defaults(self):
+        args = build_parser().parse_args(["sweep"])
+        assert args.devices == "u250"
+        assert args.precisions == "MP"
+        assert args.jobs == 1
+        assert not args.no_cache
+        assert str(args.cache_dir) == ".nsflow-cache"
+
+    def test_sweep_filter_flags_accumulate(self):
+        args = build_parser().parse_args([
+            "sweep", "--include", "nvsa@*", "--include", "mimonet@*",
+            "--exclude", "*@zcu104/*",
+        ])
+        assert args.include == ["nvsa@*", "mimonet@*"]
+        assert args.exclude == ["*@zcu104/*"]
+
 
 class TestCommands:
     def test_workloads_lists_table1(self, capsys):

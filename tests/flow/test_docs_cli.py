@@ -1,0 +1,27 @@
+"""Tier-1 guard: documented CLI invocations must parse against the CLI.
+
+Runs the same checker the CI docs job runs (``tools/check_cli_docs.py``)
+so a flag rename or doc typo fails locally, not just in CI.
+"""
+
+import pathlib
+import subprocess
+import sys
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parents[2]
+CHECKER = REPO_ROOT / "tools" / "check_cli_docs.py"
+
+
+def test_documented_cli_invocations_parse():
+    proc = subprocess.run(
+        [sys.executable, str(CHECKER)],
+        cwd=REPO_ROOT,
+        capture_output=True,
+        text=True,
+        timeout=120,
+    )
+    assert proc.returncode == 0, (
+        f"doc check failed (rc={proc.returncode}):\n"
+        f"{proc.stdout}\n{proc.stderr}"
+    )
+    assert "OK: all" in proc.stdout

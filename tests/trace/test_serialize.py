@@ -73,3 +73,33 @@ class TestListingRendering:
         trace = _sample_trace()
         listing = trace_to_listing(trace)
         assert len(listing.splitlines()) == len(trace) + 1
+
+
+class TestFingerprint:
+    def test_roundtrip_preserves_fingerprint(self):
+        from repro.trace.serialize import trace_fingerprint
+
+        trace = _sample_trace()
+        restored = trace_from_json(trace_to_json(trace))
+        assert trace_fingerprint(restored) == trace_fingerprint(trace)
+
+    def test_sensitive_to_content(self):
+        from repro.trace.serialize import trace_fingerprint
+
+        t = Tracer("nvsa")
+        t.record_simd("sum", ("%input",), (4,))
+        assert trace_fingerprint(t.finish()) != trace_fingerprint(_sample_trace())
+
+    def test_build_trace_is_pure(self):
+        """Two independent workload builds emit fingerprint-equal traces.
+
+        This purity is what makes the sweep's content-addressed cache
+        sound (DESIGN.md, "Sweep & artifact cache").
+        """
+        from repro.trace.serialize import trace_fingerprint
+        from repro.workloads import build_workload
+
+        for name in ("mimonet", "prae"):
+            a = build_workload(name).build_trace()
+            b = build_workload(name).build_trace()
+            assert trace_fingerprint(a) == trace_fingerprint(b), name

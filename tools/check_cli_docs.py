@@ -1,0 +1,141 @@
+#!/usr/bin/env python3
+"""Check documented CLI invocations against the real argparse surface.
+
+Walks every fenced ``sh``/``bash`` code block in README.md and docs/*.md,
+extracts each command line that invokes ``python -m repro ...`` (shell
+line continuations are joined, env-var prefixes stripped), and *parses*
+it with the CLI's actual ``build_parser()`` — without executing the
+command. A flag rename, a removed subcommand, or a workload/device
+choice that no longer exists makes this script (and the CI docs job)
+fail, so the CLI documentation cannot silently rot.
+
+Usage:  PYTHONPATH=src python tools/check_cli_docs.py [files...]
+Exit codes: 0 = every documented invocation parses; 1 = failures
+(listed on stderr); 2 = no invocations found (suspicious — the docs or
+this extractor broke).
+"""
+
+from __future__ import annotations
+
+import contextlib
+import io
+import pathlib
+import re
+import shlex
+import sys
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.flow.cli import build_parser  # noqa: E402
+
+FENCE_RE = re.compile(r"^```(\w*)\s*$")
+MARKER = "-m repro"
+
+
+def default_doc_files() -> list[pathlib.Path]:
+    files = [REPO_ROOT / "README.md"]
+    files.extend(sorted((REPO_ROOT / "docs").glob("*.md")))
+    return [f for f in files if f.is_file()]
+
+
+def shell_blocks(text: str) -> list[list[str]]:
+    """Fenced ``sh``/``bash`` blocks as lists of logical lines."""
+    blocks: list[list[str]] = []
+    lines: list[str] | None = None
+    for raw in text.splitlines():
+        m = FENCE_RE.match(raw.strip())
+        if m:
+            if lines is not None:          # closing fence
+                blocks.append(lines)
+                lines = None
+            elif m.group(1) in ("sh", "bash", "shell", "console"):
+                lines = []
+            continue
+        if lines is not None:
+            lines.append(raw)
+    return blocks
+
+
+def logical_commands(block: list[str]) -> list[str]:
+    """Join backslash continuations; drop comments and blank lines."""
+    commands: list[str] = []
+    pending = ""
+    for raw in block:
+        line = raw.rstrip()
+        if pending:
+            line = pending + " " + line.lstrip()
+            pending = ""
+        if line.endswith("\\"):
+            pending = line[:-1].rstrip()
+            continue
+        stripped = line.strip()
+        if stripped and not stripped.startswith("#"):
+            commands.append(stripped)
+    if pending:
+        commands.append(pending.strip())
+    return commands
+
+
+def repro_argv(command: str) -> list[str] | None:
+    """The argv after ``-m repro``, or None when this is not a repro call."""
+    if MARKER not in command:
+        return None
+    # Docs show prompts like `$ PYTHONPATH=src python -m repro ...`.
+    tail = command.split(MARKER, 1)[1]
+    try:
+        return shlex.split(tail)
+    except ValueError as exc:
+        raise SystemExit(f"unparseable shell line in docs: {command!r}: {exc}")
+
+
+def check_file(path: pathlib.Path, parser) -> tuple[int, list[str]]:
+    checked = 0
+    failures: list[str] = []
+    for block in shell_blocks(path.read_text()):
+        for command in logical_commands(block):
+            argv = repro_argv(command)
+            if argv is None:
+                continue
+            checked += 1
+            err = io.StringIO()
+            try:
+                with contextlib.redirect_stderr(err):
+                    parser.parse_args(argv)
+            except SystemExit as exc:
+                if exc.code not in (0, None):
+                    failures.append(
+                        f"{path.relative_to(REPO_ROOT)}: `{command}`\n"
+                        f"    {err.getvalue().strip().splitlines()[-1]}"
+                    )
+    return checked, failures
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = argv if argv is not None else sys.argv[1:]
+    files = [pathlib.Path(a) for a in args] or default_doc_files()
+    parser = build_parser()
+    total = 0
+    failures: list[str] = []
+    for path in files:
+        checked, bad = check_file(path, parser)
+        total += checked
+        failures.extend(bad)
+        print(f"{path.relative_to(REPO_ROOT)}: "
+              f"{checked} documented invocation(s) checked")
+    if failures:
+        print(f"\n{len(failures)} documented invocation(s) do not parse:",
+              file=sys.stderr)
+        for failure in failures:
+            print(f"  {failure}", file=sys.stderr)
+        return 1
+    if total == 0:
+        print("no `python -m repro` invocations found in the docs — "
+              "either the docs or this checker regressed", file=sys.stderr)
+        return 2
+    print(f"OK: all {total} documented CLI invocations parse")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
