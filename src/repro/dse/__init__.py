@@ -17,6 +17,7 @@ from .config import DesignConfig, ExecutionMode, design_config_from_json, design
 from .phase1 import Phase1Result, run_phase1
 from .phase2 import Phase2Result, run_phase2
 from .engine import (
+    PARTITION_SEARCH_MODES,
     DseEngine,
     DsePool,
     DseReport,
@@ -27,6 +28,13 @@ from .engine import (
     pareto_filter,
 )
 from .explorer import TwoPhaseDSE
+from .timing import (
+    StageStat,
+    clear_stage_timings,
+    stage_timings,
+    stage_timings_since,
+    timings_snapshot,
+)
 
 __all__ = [
     "DesignConfig",
@@ -46,4 +54,10 @@ __all__ = [
     "ParetoFrontier",
     "ParetoPoint",
     "pareto_filter",
+    "PARTITION_SEARCH_MODES",
+    "StageStat",
+    "stage_timings",
+    "stage_timings_since",
+    "timings_snapshot",
+    "clear_stage_timings",
 ]

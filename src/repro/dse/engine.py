@@ -11,10 +11,15 @@ two-phase co-exploration of paper Algorithm 1, restructured as
    (``jobs > 1``) or in-process (``jobs == 1``); the merge is performed
    in candidate order with strict-``<`` tie-breaking, so results are
    **bit-identical for every value of ``jobs``**;
-3. **memoized sub-models** — memory plan and SIMD width go through the
+3. **batched kernels + monotone partition search** — the inner
+   static-partition loop runs as a crossing-point bisection over the
+   vectorized models of :mod:`repro.model.batch` (``partition_search``;
+   the dense scalar scan remains as the reference mode, and all modes
+   return bit-identical results);
+4. **memoized sub-models** — memory plan and SIMD width go through the
    keyed caches in :mod:`repro.model.cache`; layer/VSA latencies hit the
    ``lru_cache``-backed models of :mod:`repro.model.runtime`;
-4. a **full Pareto frontier** — instead of a single winner, every
+5. a **full Pareto frontier** — instead of a single winner, every
    geometry contributes a (latency, area, energy-proxy) point and the
    report carries the non-dominated set (:class:`ParetoFrontier`) with
    deterministic tie-breaking (see DESIGN.md "Pareto frontier
@@ -30,17 +35,28 @@ from __future__ import annotations
 import functools
 import itertools
 import math
+import time
 from collections.abc import Iterator, Sequence
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
 
+import numpy as np
+
 from ..errors import DSEError
 from ..graph.dataflow import DataflowGraph
+from ..model.batch import (
+    bisect_uniform_partition,
+    dense_uniform_partition,
+    fits_int64_domain,
+    sequential_runtime_batch,
+)
 from ..model.cache import (
     cached_layer_runtime,
     cached_plan_memory,
     cached_simd_width,
     cached_vsa_node_runtime,
+    cached_workload_arrays,
+    clear_model_caches,
 )
 from ..model.designspace import (
     DesignSpaceSize,
@@ -55,6 +71,7 @@ from ..utils import is_power_of_two, log2_int
 from .config import DesignConfig, ExecutionMode
 from .phase1 import Phase1Result, extract_cost_dims
 from .phase2 import Phase2Result, run_phase2
+from .timing import record_stage, time_stage
 
 __all__ = [
     "GeometryCandidate",
@@ -69,6 +86,8 @@ __all__ = [
     "DEFAULT_CLOCK_MHZ",
     "DEFAULT_RANGE_H",
     "DEFAULT_RANGE_W",
+    "PARTITION_SEARCH_MODES",
+    "AUTO_DENSE_MAX_N",
 ]
 
 #: The paper's deployment clock and geometry sweep ranges. These are the
@@ -79,6 +98,24 @@ __all__ = [
 DEFAULT_CLOCK_MHZ = 272.0
 DEFAULT_RANGE_H: tuple[int, int] = (4, 256)
 DEFAULT_RANGE_W: tuple[int, int] = (4, 256)
+
+#: Static-partition search strategies for the Phase I inner loop.
+#: ``dense`` is the reference serial scan through the scalar models;
+#: ``bisect`` replaces it with the monotone crossing-point search over
+#: the batched NumPy kernels; ``auto`` (the default) picks per geometry.
+#: All three return bit-identical ``(t_parallel, N̄l, N̄v)`` triples —
+#: the knob trades wall-clock, never results.
+PARTITION_SEARCH_MODES: tuple[str, ...] = ("auto", "bisect", "dense")
+
+
+def _auto_chunksize(n_items: int, jobs: int) -> int:
+    """Executor-map batching: ≈4 IPC shipments per worker, never per item."""
+    return max(1, -(-n_items // (4 * jobs)))
+
+#: ``auto`` threshold: at or below this many sub-arrays, one vectorized
+#: dense pass over all ``N − 1`` splits is cheaper than the bisection's
+#: ``O(log N)`` separate probes (each probe is its own NumPy dispatch).
+AUTO_DENSE_MAX_N = 16
 
 
 class DsePool:
@@ -99,30 +136,56 @@ class DsePool:
     and the executor is created lazily on the first parallel ``map``.
     Sharing a pool cannot change results: the engine's merge is keyed on
     candidate index (see DESIGN.md "Parallel determinism").
+
+    Closing the pool also clears the process-lifetime model caches
+    (:func:`repro.model.cache.clear_model_caches`) by default: the
+    ``lru_cache``/keyed entries accumulated by a long sweep are keyed on
+    per-scenario dimensions and rarely useful to the next sweep, so the
+    pool's end of life is the natural bound on their growth. Pass
+    ``clear_caches_on_close=False`` to keep them warm.
     """
 
-    def __init__(self, jobs: int = 1):
+    def __init__(self, jobs: int = 1, clear_caches_on_close: bool = True):
         if jobs < 1:
             raise DSEError(f"jobs must be >= 1, got {jobs}")
         self.jobs = jobs
+        self.clear_caches_on_close = clear_caches_on_close
         self._executor: ProcessPoolExecutor | None = None
         self._closed = False
 
-    def map(self, fn, items: Sequence) -> list:
-        """Apply ``fn`` over ``items``, in-process or on the worker fleet."""
+    def map(self, fn, items: Sequence, chunksize: int | None = None) -> list:
+        """Apply ``fn`` over ``items``, in-process or on the worker fleet.
+
+        ``chunksize`` is forwarded to ``ProcessPoolExecutor.map`` so a
+        long ``items`` stream is shipped in batches instead of paying
+        one IPC round-trip per work unit; ``None`` picks
+        ``⌈len(items) / (4 · jobs)⌉`` — at most four batches per worker,
+        enough slack for load balancing without per-item overhead.
+        """
         if self._closed:
             raise DSEError("DsePool is closed")
+        if chunksize is not None and chunksize < 1:
+            raise DSEError(f"chunksize must be >= 1, got {chunksize}")
         if self.jobs == 1:
             return [fn(item) for item in items]
+        if chunksize is None:
+            chunksize = _auto_chunksize(len(items), self.jobs)
         if self._executor is None:
             self._executor = ProcessPoolExecutor(max_workers=self.jobs)
-        return list(self._executor.map(fn, items))
+        return list(self._executor.map(fn, items, chunksize=chunksize))
 
     def close(self) -> None:
-        """Shut the worker fleet down; subsequent ``map`` calls raise."""
+        """Shut the worker fleet down; subsequent ``map`` calls raise.
+
+        Also drops the model caches (unless constructed with
+        ``clear_caches_on_close=False``) — callers that need the counter
+        totals of a run must snapshot them *before* closing.
+        """
         if self._executor is not None:
             self._executor.shutdown()
             self._executor = None
+        if not self._closed and self.clear_caches_on_close:
+            clear_model_caches()
         self._closed = True
 
     @property
@@ -157,7 +220,15 @@ class GeometryCandidate:
 
 @dataclass(frozen=True)
 class GeometryEval:
-    """Scores of one geometry: best static partition + sequential schedule."""
+    """Scores of one geometry: best static partition + sequential schedule.
+
+    ``evaluated`` counts the *logical* candidate design points this
+    geometry covers (one sequential schedule plus every static split) —
+    it is identical for every ``partition_search`` strategy, so the
+    report counters stay byte-identical across modes. ``probes`` counts
+    the candidate points actually priced, in the same units:
+    ``evaluated`` for the dense scans, ``O(log N)`` for the bisection.
+    """
 
     index: int
     h: int
@@ -167,7 +238,8 @@ class GeometryEval:
     t_parallel: int
     nl_bar: int
     nv_bar: int
-    evaluated: int   # model evaluations spent on this geometry
+    evaluated: int   # logical candidate design points covered
+    probes: int = 0  # candidate design points actually priced
 
     @property
     def best_cycles(self) -> int:
@@ -333,35 +405,74 @@ def _evaluate_geometry(
     cand: GeometryCandidate,
     layers: tuple[GemmDims, ...],
     vsa_nodes: tuple[VsaDims, ...],
+    search: str = "dense",
+    arrays=None,
+    t_seq: int | None = None,
 ) -> GeometryEval:
     """Score one geometry exactly as the serial Phase I sweep does.
 
-    The inner static-partition loop runs ``N̄l`` ascending with strict-``<``
-    updates, so the per-geometry winner matches the serial sweep bit for
-    bit; the cross-geometry merge happens in :meth:`DseEngine.evaluate`.
+    ``search == "dense"`` is the reference path: the inner
+    static-partition loop runs ``N̄l`` ascending through the scalar
+    models with strict-``<`` updates, so the per-geometry winner matches
+    the historical serial sweep bit for bit. The batched paths
+    (``bisect`` directly, ``auto`` per geometry) produce the identical
+    triple via the monotone crossing-point search — or one vectorized
+    dense pass when ``N`` is small enough that probe dispatch overhead
+    would dominate. The cross-geometry merge happens in
+    :meth:`DseEngine.evaluate`.
     """
     h, w, n_sub = cand.h, cand.w, cand.n_sub
-    t_seq = int(sequential_runtime(h, w, n_sub, layers, vsa_nodes))
-    evaluated = 1
-    if vsa_nodes:
-        best: tuple[int, int, int] | None = None
-        nl_vec = [0] * len(layers)
-        nv_vec = [0] * len(vsa_nodes)
-        for nl_bar in range(1, n_sub):
-            nv_bar = n_sub - nl_bar
-            for i in range(len(nl_vec)):
-                nl_vec[i] = nl_bar
-            for j in range(len(nv_vec)):
-                nv_vec[j] = nv_bar
-            t_para = parallel_runtime(h, w, nl_vec, nv_vec, layers, vsa_nodes)
-            evaluated += 1
-            if best is None or t_para < best[0]:
-                best = (int(t_para), nl_bar, nv_bar)
-        assert best is not None  # n_sub >= 2 guarantees one iteration
-        t_par, nl_bar, nv_bar = best
+    if search == "dense":
+        t_seq = int(sequential_runtime(h, w, n_sub, layers, vsa_nodes))
+        evaluated = 1
+        if vsa_nodes:
+            best: tuple[int, int, int] | None = None
+            nl_vec = [0] * len(layers)
+            nv_vec = [0] * len(vsa_nodes)
+            for nl_bar in range(1, n_sub):
+                nv_bar = n_sub - nl_bar
+                for i in range(len(nl_vec)):
+                    nl_vec[i] = nl_bar
+                for j in range(len(nv_vec)):
+                    nv_vec[j] = nv_bar
+                t_para = parallel_runtime(
+                    h, w, nl_vec, nv_vec, layers, vsa_nodes
+                )
+                evaluated += 1
+                if best is None or t_para < best[0]:
+                    best = (int(t_para), nl_bar, nv_bar)
+            assert best is not None  # n_sub >= 2 guarantees one iteration
+            t_par, nl_bar, nv_bar = best
+        else:
+            # No VSA nodes: "parallel" degenerates to whole-array NN.
+            t_par, nl_bar, nv_bar = t_seq, n_sub, 0
+        probes = evaluated
     else:
-        # No VSA nodes: "parallel" degenerates to whole-array NN.
-        t_par, nl_bar, nv_bar = t_seq, n_sub, 0
+        if arrays is None:
+            arrays = cached_workload_arrays(tuple(layers), tuple(vsa_nodes))
+        if not fits_int64_domain(arrays, h, h, w, w):
+            # Pathologically large dimensions could wrap the int64
+            # kernels; the scalar reference path handles any magnitude
+            # and returns the identical result.
+            return _evaluate_geometry(cand, layers, vsa_nodes)
+        if t_seq is None:
+            t_seq = int(
+                sequential_runtime_batch([h], [w], [n_sub], arrays)[0]
+            )
+        if vsa_nodes:
+            if search == "bisect" or n_sub > AUTO_DENSE_MAX_N:
+                found = bisect_uniform_partition(h, w, n_sub, arrays)
+            else:
+                found = dense_uniform_partition(h, w, n_sub, arrays)
+            t_par, nl_bar, nv_bar = (
+                found.t_parallel, found.nl_bar, found.nv_bar
+            )
+            probes = found.probes + 1          # + the sequential schedule
+            evaluated = n_sub                  # 1 sequential + (N − 1) splits
+        else:
+            t_par, nl_bar, nv_bar = t_seq, n_sub, 0
+            probes = 1
+            evaluated = 1
     return GeometryEval(
         index=cand.index,
         h=h,
@@ -372,16 +483,61 @@ def _evaluate_geometry(
         nl_bar=nl_bar,
         nv_bar=nv_bar,
         evaluated=evaluated,
+        probes=probes,
     )
+
+
+def _evaluate_candidates(
+    candidates: Sequence[GeometryCandidate],
+    layers: tuple[GemmDims, ...],
+    vsa_nodes: tuple[VsaDims, ...],
+    search: str = "dense",
+) -> list[GeometryEval]:
+    """Score a batch of geometries under one search strategy.
+
+    The batched strategies pre-evaluate every geometry's sequential
+    runtime in a single NumPy pass over the whole batch (`G × (L + V)`
+    elementwise ops) before running the per-geometry partition search.
+    """
+    if search == "dense" or not candidates:
+        return [_evaluate_geometry(c, layers, vsa_nodes) for c in candidates]
+    arrays = cached_workload_arrays(tuple(layers), tuple(vsa_nodes))
+    hs = np.array([c.h for c in candidates], dtype=np.int64)
+    ws = np.array([c.w for c in candidates], dtype=np.int64)
+    if not fits_int64_domain(
+        arrays, int(hs.min()), int(hs.max()), int(ws.min()), int(ws.max())
+    ):
+        # The box's high corner could wrap int64: skip the batched
+        # sequential precompute and let each geometry's own headroom
+        # check keep the batched path where it individually fits,
+        # reverting only the unsafe geometries to the scalar scan.
+        return [
+            _evaluate_geometry(c, layers, vsa_nodes, search=search,
+                               arrays=arrays)
+            for c in candidates
+        ]
+    t_seq = sequential_runtime_batch(
+        hs, ws,
+        np.array([c.n_sub for c in candidates], dtype=np.int64),
+        arrays,
+    )
+    return [
+        _evaluate_geometry(
+            c, layers, vsa_nodes, search=search, arrays=arrays,
+            t_seq=int(t_seq[i]),
+        )
+        for i, c in enumerate(candidates)
+    ]
 
 
 def _evaluate_chunk(
     chunk: tuple[GeometryCandidate, ...],
     layers: tuple[GemmDims, ...],
     vsa_nodes: tuple[VsaDims, ...],
+    search: str = "dense",
 ) -> list[GeometryEval]:
     """Process-pool work unit: score a batch of geometries."""
-    return [_evaluate_geometry(c, layers, vsa_nodes) for c in chunk]
+    return _evaluate_candidates(chunk, layers, vsa_nodes, search)
 
 
 class DseEngine:
@@ -415,6 +571,16 @@ class DseEngine:
         executor. The pool's ``jobs`` budget overrides the ``jobs``
         argument, so every engine sharing the pool also shares one
         worker-count policy. The engine never closes a caller's pool.
+    partition_search:
+        Phase I inner-loop strategy — ``"auto"`` (default), ``"bisect"``
+        or ``"dense"``. ``dense`` is the reference serial scan through
+        the scalar models; ``bisect`` replaces it with the monotone
+        crossing-point search over the batched NumPy kernels; ``auto``
+        picks per geometry (vectorized dense below
+        :data:`AUTO_DENSE_MAX_N` sub-arrays, bisection above). Reports
+        are **bit-identical across all three** — the knob only trades
+        wall-clock (see DESIGN.md "Batched models & partition
+        bisection").
     """
 
     def __init__(
@@ -431,6 +597,7 @@ class DseEngine:
         aspect_min: float = 0.25,
         aspect_max: float = 16.0,
         pool: DsePool | None = None,
+        partition_search: str = "auto",
     ):
         if not is_power_of_two(max_pes):
             raise DSEError(f"max_pes must be a power of two, got {max_pes}")
@@ -444,6 +611,12 @@ class DseEngine:
             pareto_k = None
         if pareto_k is not None and pareto_k < 1:
             raise DSEError(f"pareto_k must be >= 0, got {pareto_k}")
+        if partition_search not in PARTITION_SEARCH_MODES:
+            raise DSEError(
+                f"partition_search must be one of "
+                f"{', '.join(PARTITION_SEARCH_MODES)}, "
+                f"got {partition_search!r}"
+            )
         self.max_pes = max_pes
         self.precision = precision or MIXED_PRECISION_PRESETS["MP"]
         self.iter_max = iter_max
@@ -456,6 +629,7 @@ class DseEngine:
         self.aspect_min = aspect_min
         self.aspect_max = aspect_max
         self.pool = pool
+        self.partition_search = partition_search
 
     # -- candidate stream ------------------------------------------------------
 
@@ -503,9 +677,11 @@ class DseEngine:
     def evaluate(self, graph: DataflowGraph) -> list[GeometryEval]:
         """Score every candidate geometry, serially or in a process pool.
 
-        The returned list is in candidate order independent of ``jobs``
-        and chunking: pool results are re-sorted by candidate index
-        before returning.
+        The returned list is in candidate order independent of ``jobs``,
+        chunking, and ``partition_search``: pool results are re-sorted
+        by candidate index before returning, and every search strategy
+        returns the identical scores. Wall-clock and probe counts accrue
+        to the ``phase1.*`` stages of :mod:`repro.dse.timing`.
         """
         layer_list, vsa_list = extract_cost_dims(graph)
         layers = tuple(layer_list)
@@ -516,19 +692,42 @@ class DseEngine:
                 f"no feasible geometry for max_pes={self.max_pes} within "
                 f"H range {self.range_h}, W range {self.range_w}"
             )
+        t0 = time.perf_counter()
         if self.jobs == 1:
-            return [_evaluate_geometry(c, layers, vsa_nodes) for c in candidates]
-        work = functools.partial(
-            _evaluate_chunk, layers=layers, vsa_nodes=vsa_nodes
-        )
-        chunks = self._make_chunks(candidates)
-        if self.pool is not None:
-            chunk_results = self.pool.map(work, chunks)
+            evals = _evaluate_candidates(
+                candidates, layers, vsa_nodes, self.partition_search
+            )
         else:
-            with ProcessPoolExecutor(max_workers=self.jobs) as pool:
-                chunk_results = list(pool.map(work, chunks))
-        evals = [ev for chunk in chunk_results for ev in chunk]
-        return sorted(evals, key=lambda e: e.index)
+            work = functools.partial(
+                _evaluate_chunk, layers=layers, vsa_nodes=vsa_nodes,
+                search=self.partition_search,
+            )
+            chunks = self._make_chunks(candidates)
+            if self.pool is not None:
+                # The pool's auto chunksize batches a long chunk stream
+                # (engine chunk_size=1 on a big space) into ~4 IPC
+                # shipments per worker instead of one per work unit.
+                chunk_results = self.pool.map(work, chunks)
+            else:
+                with ProcessPoolExecutor(max_workers=self.jobs) as pool:
+                    chunk_results = list(pool.map(
+                        work, chunks,
+                        chunksize=_auto_chunksize(len(chunks), self.jobs),
+                    ))
+            evals = sorted(
+                (ev for chunk in chunk_results for ev in chunk),
+                key=lambda e: e.index,
+            )
+        record_stage(
+            "phase1.sweep", time.perf_counter() - t0, items=len(evals)
+        )
+        record_stage(
+            "phase1.model_probes", items=sum(ev.probes for ev in evals)
+        )
+        record_stage(
+            f"phase1.search_{self.partition_search}", items=len(evals)
+        )
+        return evals
 
     @staticmethod
     def _reduce_phase1(evals: Sequence[GeometryEval]) -> Phase1Result:
@@ -600,7 +799,12 @@ class DseEngine:
         """
         evals = self.evaluate(graph)
         phase1 = self._reduce_phase1(evals)
+        t0 = time.perf_counter()
         phase2 = run_phase2(graph, phase1, self.iter_max)
+        record_stage(
+            "phase2.refine", time.perf_counter() - t0,
+            items=phase2.iterations_run,
+        )
         if phase1.t_sequential < phase2.t_parallel:
             mode = ExecutionMode.SEQUENTIAL
             best_cycles = phase1.t_sequential
@@ -651,12 +855,14 @@ class DseEngine:
                 "candidates_evaluated": phase1.candidates_evaluated,
             },
         )
+        with time_stage("pareto.filter", items=len(evals)):
+            pareto = self._frontier(evals)
         return DseReport(
             config=config,
             phase1=phase1,
             phase2=phase2,
             space=space,
-            pareto=self._frontier(evals),
+            pareto=pareto,
         )
 
     @staticmethod

@@ -19,6 +19,12 @@ from dataclasses import dataclass
 
 from ..errors import DSEError
 from ..graph.dataflow import DataflowGraph
+from ..model.batch import (
+    fits_int64_domain,
+    nn_total_runtime_vec,
+    vsa_total_runtime_vec,
+)
+from ..model.cache import cached_workload_arrays
 from ..model.runtime import nn_total_runtime, vsa_total_runtime
 from .phase1 import Phase1Result, extract_cost_dims
 
@@ -66,11 +72,24 @@ def run_phase2(
     nl = [phase1.nl_bar] * len(layers)
     nv = [phase1.nv_bar] * len(vsa_nodes)
 
-    def t_para() -> int:
-        return max(
-            nn_total_runtime(h, w, nl, layers),
-            vsa_total_runtime(h, w, nv, vsa_nodes),
-        )
+    # The refinement loop re-prices the full partition vectors on every
+    # candidate move; the batched kernels make each pricing one
+    # vectorized pass over (L + V) precomputed dimension rows instead of
+    # per-node scalar model calls (bit-identical integers either way).
+    # Dimensions big enough to wrap int64 fall back to the scalar models.
+    arrays = cached_workload_arrays(tuple(layers), tuple(vsa_nodes))
+    if fits_int64_domain(arrays, h, h, w, w):
+        def t_para() -> int:
+            return max(
+                nn_total_runtime_vec(h, w, nl, arrays),
+                vsa_total_runtime_vec(h, w, nv, arrays),
+            )
+    else:
+        def t_para() -> int:
+            return max(
+                nn_total_runtime(h, w, nl, layers),
+                vsa_total_runtime(h, w, nv, vsa_nodes),
+            )
 
     best_t = t_para()
     best_nl, best_nv = list(nl), list(nv)

@@ -14,6 +14,7 @@ from .report import (
     format_table,
     pareto_frontier_table,
     speedup_table,
+    stage_timings_table,
     sweep_comparison_table,
     sweep_results_table,
     sweep_summary,
@@ -33,6 +34,7 @@ __all__ = [
     "format_table",
     "pareto_frontier_table",
     "speedup_table",
+    "stage_timings_table",
     "sweep_results_table",
     "sweep_comparison_table",
     "sweep_summary",

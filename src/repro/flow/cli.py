@@ -32,6 +32,16 @@ DSE flags
 ``--pareto-k K``
     How many Pareto-frontier rows to keep and print (default 8; ``0``
     keeps the full frontier).
+``--partition-search {auto,bisect,dense}``
+    Phase I inner-loop strategy. ``dense`` is the reference serial scan
+    through the scalar models; ``bisect`` is the monotone crossing-point
+    search over the batched NumPy kernels (``O(log N)`` probes instead
+    of ``N − 1``); ``auto`` (default) picks per geometry. **Results are
+    bit-identical across all three** — the knob only trades wall-clock.
+``--timings``
+    Print the DSE stage-timing table (Phase I sweep seconds, model
+    probes paid, Phase II refinement, Pareto filtering) after the run —
+    the counters that make a ``--partition-search`` speedup visible.
 
 Frontier report
 ---------------
@@ -71,12 +81,15 @@ from .nsflow import NSFlow
 from .report import (
     format_table,
     pareto_frontier_table,
+    stage_timings_table,
     sweep_comparison_table,
     sweep_results_table,
     sweep_summary,
 )
 from .sweep import ScenarioGrid, run_sweep
 from ..dse.config import design_config_to_json
+from ..dse.engine import PARTITION_SEARCH_MODES
+from ..dse.timing import stage_timings_since, timings_snapshot
 
 __all__ = ["main", "build_parser"]
 
@@ -106,6 +119,12 @@ def build_parser() -> argparse.ArgumentParser:
     comp.add_argument("--pareto-k", type=int, default=8, dest="pareto_k",
                       help="Pareto-frontier rows to keep/print "
                            "(0 = full frontier)")
+    comp.add_argument("--partition-search", choices=PARTITION_SEARCH_MODES,
+                      default="auto", dest="partition_search",
+                      help="Phase I partition-search strategy (results are "
+                           "bit-identical across all choices)")
+    comp.add_argument("--timings", action="store_true",
+                      help="print the DSE stage-timing table after the run")
     comp.add_argument("--out", type=pathlib.Path, default=None,
                       help="directory for generated artifacts")
 
@@ -143,6 +162,14 @@ def build_parser() -> argparse.ArgumentParser:
     swp.add_argument("--jobs", type=int, default=1,
                      help="sweep-wide worker-process budget shared by every "
                           "scenario's DSE (1 = serial)")
+    swp.add_argument("--partition-search", choices=PARTITION_SEARCH_MODES,
+                     default="auto", dest="partition_search",
+                     help="Phase I partition-search strategy applied to "
+                          "every scenario (results are bit-identical "
+                          "across all choices)")
+    swp.add_argument("--timings", action="store_true",
+                     help="print the full DSE stage-timing table after "
+                          "the sweep summary")
     swp.add_argument("--cache-dir", type=pathlib.Path,
                      default=pathlib.Path(".nsflow-cache"),
                      help="artifact-store directory (default: .nsflow-cache)")
@@ -193,7 +220,9 @@ def _cmd_compile(args: argparse.Namespace) -> int:
         iter_max=args.iter_max,
         jobs=args.jobs,
         pareto_k=args.pareto_k,
+        partition_search=args.partition_search,
     )
+    snapshot = timings_snapshot()
     design = nsf.compile(workload, n_loops=args.loops)
 
     c, r = design.config, design.resources
@@ -222,6 +251,14 @@ def _cmd_compile(args: argparse.Namespace) -> int:
     if design.dse.pareto is not None and design.dse.pareto:
         print()
         print(pareto_frontier_table(design.dse.pareto, clock_mhz=c.clock_mhz))
+
+    if args.timings:
+        print()
+        print(stage_timings_table(
+            stage_timings_since(snapshot),
+            title=f"DSE stage timings (--partition-search "
+                  f"{args.partition_search})",
+        ))
 
     if args.out is not None:
         args.out.mkdir(parents=True, exist_ok=True)
@@ -282,7 +319,10 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
               f"{outcome.scenario_id:<32} {status:<9} "
               f"{outcome.elapsed_s:6.2f}s  {tail}")
 
-    result = run_sweep(grid, store=store, jobs=args.jobs, progress=progress)
+    result = run_sweep(
+        grid, store=store, jobs=args.jobs,
+        partition_search=args.partition_search, progress=progress,
+    )
     print()
     print(sweep_results_table(result))
     if result.ok_outcomes():
@@ -290,6 +330,17 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         print(sweep_comparison_table(result))
     print()
     print(sweep_summary(result))
+    if args.timings:
+        print()
+        if result.stage_timings:
+            print(stage_timings_table(
+                result.stage_timings,
+                title=f"DSE stage timings (--partition-search "
+                      f"{args.partition_search})",
+            ))
+        else:
+            print("DSE stage timings: no stages ran "
+                  "(every scenario was served from the artifact cache)")
     if store is not None:
         print(f"Artifact store: {args.cache_dir} ({len(store)} entries)")
     # Failure isolation keeps the sweep running, but scripts/CI must

@@ -79,6 +79,7 @@ class NSFlow:
         jobs: int = 1,
         pareto_k: int | None = None,
         pool: DsePool | None = None,
+        partition_search: str = "auto",
     ):
         self.device = device
         self.precision = precision or MIXED_PRECISION_PRESETS["MP"]
@@ -90,6 +91,7 @@ class NSFlow:
         self.jobs = jobs
         self.pareto_k = pareto_k
         self.pool = pool
+        self.partition_search = partition_search
         if self.max_pes < 4:
             raise ConfigError(f"device {device.name} supports too few PEs")
 
@@ -116,6 +118,7 @@ class NSFlow:
             jobs=self.jobs,
             pareto_k=self.pareto_k,
             pool=self.pool,
+            partition_search=self.partition_search,
         )
         report = dse.explore(graph)
         config = report.config

@@ -19,12 +19,14 @@ from ..errors import ConfigError
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..dse.engine import ParetoFrontier
+    from ..dse.timing import StageStat
     from .sweep import SweepResult
 
 __all__ = [
     "format_table",
     "speedup_table",
     "pareto_frontier_table",
+    "stage_timings_table",
     "sweep_results_table",
     "sweep_comparison_table",
     "sweep_summary",
@@ -101,6 +103,35 @@ def pareto_frontier_table(
          "Area (PE-eq)", "Energy (area*cyc)"],
         rows,
         title=title,
+    )
+
+
+def stage_timings_table(
+    timings: dict[str, "StageStat"], title: str | None = None
+) -> str:
+    """Render the DSE stage accumulators (:mod:`repro.dse.timing`).
+
+    One row per stage, in deterministic name order: accumulated
+    wall-clock, entry count, work items (geometries swept, model probes
+    paid, refinement iterations), and throughput. This is where a
+    ``--partition-search`` choice becomes visible — compare
+    ``phase1.sweep`` seconds and ``phase1.model_probes`` items across
+    modes.
+    """
+    rows = [
+        [
+            name,
+            f"{s.seconds:.3f}",
+            s.calls,
+            f"{s.items:,}",
+            f"{s.items_per_second:,.0f}" if s.seconds > 0 else "-",
+        ]
+        for name, s in sorted(timings.items())
+    ]
+    return format_table(
+        ["Stage", "Seconds", "Calls", "Items", "Items/s"],
+        rows,
+        title=title or "DSE stage timings",
     )
 
 
@@ -243,6 +274,17 @@ def sweep_summary(result: "SweepResult") -> str:
         f"Fresh DSE evaluations: {result.total_evaluations:,} candidate "
         f"models ({result.fresh_model_evaluations:,} model-cache misses)"
     )
+    sweep_stage = result.stage_timings.get("phase1.sweep")
+    if sweep_stage is not None:
+        probes = result.stage_timings.get("phase1.model_probes")
+        probed = probes.items if probes is not None else 0
+        phase2 = result.stage_timings.get("phase2.refine")
+        phase2_s = phase2.seconds if phase2 is not None else 0.0
+        lines.append(
+            f"DSE stage timings: phase1 {sweep_stage.seconds:.3f} s "
+            f"({sweep_stage.items:,} geometries, {probed:,} model probes), "
+            f"phase2 {phase2_s:.3f} s"
+        )
     return "\n".join(lines)
 
 

@@ -34,8 +34,10 @@ from ..dse.engine import (
     DEFAULT_CLOCK_MHZ,
     DEFAULT_RANGE_H,
     DEFAULT_RANGE_W,
+    PARTITION_SEARCH_MODES,
     DsePool,
 )
+from ..dse.timing import StageStat, stage_timings_since, timings_snapshot
 from ..errors import ConfigError
 from ..model.cache import counters_snapshot, fresh_evaluations_since
 from ..quant import MIXED_PRECISION_PRESETS, MixedPrecisionConfig
@@ -262,12 +264,20 @@ class ScenarioOutcome:
 
 @dataclass
 class SweepResult:
-    """All outcomes of one sweep plus the counters that audit it."""
+    """All outcomes of one sweep plus the counters that audit it.
+
+    ``stage_timings`` is the sweep's delta of the DSE stage accumulators
+    (:mod:`repro.dse.timing`): wall-clock and work-item counts for the
+    Phase I sweep, the partition-search probes, Phase II refinement, and
+    Pareto filtering — the numbers that make a ``partition_search``
+    speedup visible straight from the sweep summary.
+    """
 
     outcomes: list[ScenarioOutcome] = field(default_factory=list)
     store_stats: StoreStats | None = None
     fresh_model_evaluations: int = 0
     elapsed_s: float = 0.0
+    stage_timings: dict[str, StageStat] = field(default_factory=dict)
 
     @property
     def n_scenarios(self) -> int:
@@ -297,7 +307,9 @@ class SweepResult:
         return [o for o in self.ok_outcomes() if o.spec.workload == workload]
 
 
-def _compile_scenario(spec: ScenarioSpec, pool: DsePool) -> tuple:
+def _compile_scenario(
+    spec: ScenarioSpec, pool: DsePool, partition_search: str = "auto"
+) -> tuple:
     """Run the full toolchain for one scenario on the shared pool."""
     from .nsflow import CompiledDesign  # noqa: F401  (documentation anchor)
 
@@ -309,6 +321,7 @@ def _compile_scenario(spec: ScenarioSpec, pool: DsePool) -> tuple:
         max_pes=spec.max_pes,
         pool=pool,
         pareto_k=None,   # always keep the full frontier; render-time truncation
+        partition_search=partition_search,
     )
     design = nsf.compile(workload, n_loops=spec.loops)
     artifacts = ScenarioArtifacts(
@@ -327,6 +340,7 @@ def run_sweep(
     *,
     store: ArtifactStore | None = None,
     jobs: int = 1,
+    partition_search: str = "auto",
     progress: Callable[[ScenarioOutcome], None] | None = None,
 ) -> SweepResult:
     """Compile every scenario of ``grid``, reusing cached artifacts.
@@ -345,6 +359,11 @@ def run_sweep(
         The sweep-wide worker budget. One :class:`DsePool` is shared by
         every scenario's engine, so ``jobs=4`` means four processes
         total — not four per scenario.
+    partition_search:
+        Phase I partition-search strategy for every scenario (``auto``,
+        ``bisect``, ``dense``). Like ``jobs``, this is **not** part of
+        the scenario cache key: every strategy produces bit-identical
+        artifacts, so cached results are valid across strategies.
     progress:
         Optional callback invoked with each :class:`ScenarioOutcome` as
         it completes (the CLI uses this for live per-scenario lines).
@@ -353,9 +372,15 @@ def run_sweep(
     DSE, backend, artifact I/O) is recorded on its outcome; remaining
     scenarios still run.
     """
+    if partition_search not in PARTITION_SEARCH_MODES:
+        raise ConfigError(
+            f"partition_search must be one of "
+            f"{', '.join(PARTITION_SEARCH_MODES)}, got {partition_search!r}"
+        )
     specs = list(grid.expand() if isinstance(grid, ScenarioGrid) else grid)
     result = SweepResult()
     snapshot = counters_snapshot()
+    timing_snapshot = timings_snapshot()
     t_start = time.perf_counter()
     with DsePool(jobs) as pool:
         for spec in specs:
@@ -371,7 +396,9 @@ def run_sweep(
                         elapsed_s=time.perf_counter() - t0,
                     )
                 else:
-                    design, artifacts = _compile_scenario(spec, pool)
+                    design, artifacts = _compile_scenario(
+                        spec, pool, partition_search
+                    )
                     if store is not None:
                         store.store(key, design, spec.key_doc())
                     outcome = ScenarioOutcome(
@@ -389,7 +416,11 @@ def run_sweep(
             result.outcomes.append(outcome)
             if progress is not None:
                 progress(outcome)
+        # Account the counters before the pool closes: DsePool.close()
+        # clears the model caches (the long-sweep memory-growth bound),
+        # which would zero the miss deltas this audit is built on.
+        result.fresh_model_evaluations = fresh_evaluations_since(snapshot)
     result.elapsed_s = time.perf_counter() - t_start
-    result.fresh_model_evaluations = fresh_evaluations_since(snapshot)
+    result.stage_timings = stage_timings_since(timing_snapshot)
     result.store_stats = store.stats if store is not None else None
     return result

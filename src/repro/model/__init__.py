@@ -18,6 +18,17 @@ from .runtime import (
 )
 from .memory import MemoryPlan, plan_memory, simd_width
 from .designspace import DesignSpaceSize, design_space_size
+from .batch import (
+    PartitionSearchOutcome,
+    WorkloadArrays,
+    bisect_uniform_partition,
+    dense_uniform_partition,
+    nn_total_runtime_vec,
+    parallel_runtime_vec,
+    sequential_runtime_batch,
+    sequential_runtime_vec,
+    vsa_total_runtime_vec,
+)
 from .cache import (
     CacheStats,
     EvalCache,
@@ -26,6 +37,7 @@ from .cache import (
     cached_plan_memory,
     cached_simd_width,
     cached_vsa_node_runtime,
+    cached_workload_arrays,
     clear_model_caches,
     graph_cache_key,
 )
@@ -44,6 +56,15 @@ __all__ = [
     "simd_width",
     "DesignSpaceSize",
     "design_space_size",
+    "WorkloadArrays",
+    "PartitionSearchOutcome",
+    "bisect_uniform_partition",
+    "dense_uniform_partition",
+    "nn_total_runtime_vec",
+    "vsa_total_runtime_vec",
+    "parallel_runtime_vec",
+    "sequential_runtime_vec",
+    "sequential_runtime_batch",
     "CacheStats",
     "EvalCache",
     "cache_stats",
@@ -51,6 +72,7 @@ __all__ = [
     "cached_vsa_node_runtime",
     "cached_plan_memory",
     "cached_simd_width",
+    "cached_workload_arrays",
     "clear_model_caches",
     "graph_cache_key",
 ]

@@ -28,6 +28,7 @@ from dataclasses import dataclass
 from typing import TYPE_CHECKING, Any
 
 from ..errors import ConfigError
+from .batch import WorkloadArrays
 from .memory import MemoryPlan, plan_memory, simd_width
 from .runtime import layer_runtime, vsa_node_runtime
 
@@ -45,6 +46,7 @@ __all__ = [
     "cached_vsa_node_runtime",
     "cached_plan_memory",
     "cached_simd_width",
+    "cached_workload_arrays",
     "cache_stats",
     "counters_snapshot",
     "fresh_evaluations_since",
@@ -53,6 +55,7 @@ __all__ = [
     "VSA_RUNTIME_CACHE",
     "MEMORY_PLAN_CACHE",
     "SIMD_WIDTH_CACHE",
+    "WORKLOAD_ARRAYS_CACHE",
 ]
 
 
@@ -127,6 +130,7 @@ LAYER_RUNTIME_CACHE = EvalCache("layer_runtime")
 VSA_RUNTIME_CACHE = EvalCache("vsa_node_runtime")
 MEMORY_PLAN_CACHE = EvalCache("memory_plan", max_entries=256)
 SIMD_WIDTH_CACHE = EvalCache("simd_width", max_entries=1024)
+WORKLOAD_ARRAYS_CACHE = EvalCache("workload_arrays", max_entries=512)
 
 
 def graph_cache_key(graph: "DataflowGraph") -> tuple:
@@ -221,29 +225,73 @@ def cached_simd_width(
     )
 
 
+def cached_workload_arrays(
+    layers: tuple["GemmDims", ...], vsa_nodes: tuple["VsaDims", ...]
+) -> WorkloadArrays:
+    """Per-workload precomputed dimension arrays (see :mod:`.batch`).
+
+    The batched kernels read the same ``(m, n, k)`` / ``(n, d)`` arrays
+    for every candidate geometry of a sweep; this cache builds them once
+    per distinct workload dimension set — including once per worker
+    process, since each process-pool worker carries its own registry.
+    """
+    key = (tuple(layers), tuple(vsa_nodes))
+    return WORKLOAD_ARRAYS_CACHE.get_or_compute(
+        key, lambda: WorkloadArrays.from_dims(*key)
+    )
+
+
+def _lru_model_stats() -> dict[str, CacheStats]:
+    """The ``runtime.py`` ``lru_cache`` layers as :class:`CacheStats`.
+
+    These caches are process-lifetime and invisible to the keyed
+    registry; surfacing their sizes here is what lets a long sweep see
+    (and bound, via :func:`clear_model_caches`) their memory growth.
+    """
+    stats = {}
+    for fn in (layer_runtime, vsa_node_runtime):
+        info = fn.cache_info()
+        name = f"lru.{fn.__name__}"
+        stats[name] = CacheStats(
+            name=name, hits=info.hits, misses=info.misses,
+            entries=info.currsize,
+        )
+    return stats
+
+
 def cache_stats() -> dict[str, CacheStats]:
-    """Counters for every registered model cache, keyed by cache name."""
-    return {name: cache.stats for name, cache in _REGISTRY.items()}
+    """Counters for every model cache — keyed registry *and* the
+    ``runtime.py`` ``lru_cache`` layers (``lru.*`` names)."""
+    stats = {name: cache.stats for name, cache in _REGISTRY.items()}
+    stats.update(_lru_model_stats())
+    return stats
 
 
-def counters_snapshot() -> dict[str, tuple[int, int]]:
-    """Point-in-time ``(hits, misses)`` per cache.
+def counters_snapshot() -> dict[str, tuple[int, int, int]]:
+    """Point-in-time ``(hits, misses, entries)`` per cache.
 
     The persistence layer (``repro.flow.sweep``) takes one snapshot
     before and one after a sweep; the miss delta is the number of fresh
     model evaluations the sweep actually performed — the number a fully
-    warm artifact cache must drive to zero.
+    warm artifact cache must drive to zero. ``entries`` surfaces each
+    cache's resident size, including the ``lru.*`` layers whose
+    process-lifetime growth :func:`clear_model_caches` bounds.
     """
-    return {name: (c.hits, c.misses) for name, c in _REGISTRY.items()}
+    return {
+        name: (s.hits, s.misses, s.entries)
+        for name, s in cache_stats().items()
+    }
 
 
-def fresh_evaluations_since(snapshot: dict[str, tuple[int, int]]) -> int:
-    """Total new cache *misses* since ``snapshot`` (each miss computed a
-    model result from scratch). Caches cleared or created after the
-    snapshot count from zero."""
+def fresh_evaluations_since(snapshot: dict[str, tuple]) -> int:
+    """Total new keyed-cache *misses* since ``snapshot`` (each miss
+    computed a model result from scratch). Caches cleared or created
+    after the snapshot count from zero; the ``lru.*`` layers are
+    excluded so a probe served by ``lru_cache`` is never double-counted
+    against its keyed twin."""
     total = 0
     for name, cache in _REGISTRY.items():
-        _, misses_then = snapshot.get(name, (0, 0))
+        misses_then = snapshot.get(name, (0, 0, 0))[1]
         total += max(0, cache.misses - misses_then)
     return total
 

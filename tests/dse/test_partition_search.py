@@ -1,0 +1,285 @@
+"""Equivalence contract of the partition-search strategies.
+
+The engine promises that ``partition_search`` (and ``jobs``) trade
+wall-clock only: for any workload, geometry, and PE budget, the bisect
+path must return the same ``(t_parallel, N̄l, N̄v)`` as the dense serial
+scan, and the full :class:`~repro.dse.engine.DseReport` must be
+**byte-identical** across every mode × jobs combination. These tests
+are the contract; CI's perf-smoke job re-checks it at a tiny budget via
+``benchmarks/bench_dse_hotpath.py --check-only``.
+"""
+
+import pickle
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.dse.engine import (
+    AUTO_DENSE_MAX_N,
+    PARTITION_SEARCH_MODES,
+    DseEngine,
+    DsePool,
+    GeometryCandidate,
+    _evaluate_geometry,
+)
+from repro.dse.timing import (
+    clear_stage_timings,
+    stage_timings,
+    stage_timings_since,
+    timings_snapshot,
+)
+from repro.errors import DSEError
+from repro.flow.cli import main
+from repro.flow.sweep import ScenarioGrid, run_sweep
+from repro.model.cache import (
+    LAYER_RUNTIME_CACHE,
+    cache_stats,
+    clear_model_caches,
+    counters_snapshot,
+)
+from repro.model.runtime import layer_runtime
+from repro.nn.gemm import GemmDims
+from repro.trace.opnode import VsaDims
+
+gemm = st.builds(
+    GemmDims,
+    m=st.integers(1, 400),
+    n=st.integers(1, 400),
+    k=st.integers(1, 400),
+)
+vsa = st.builds(VsaDims, n=st.integers(1, 48), d=st.integers(1, 1024))
+
+
+class TestGeometryEquivalence:
+    @given(
+        st.lists(gemm, min_size=1, max_size=5),
+        st.lists(vsa, min_size=0, max_size=3),
+        st.sampled_from([4, 8, 16, 32]),
+        st.sampled_from([4, 8, 16, 32]),
+        st.sampled_from([2, 3, 5, 8, AUTO_DENSE_MAX_N, 64, 256]),
+    )
+    @settings(max_examples=120, deadline=None)
+    def test_all_modes_agree_per_geometry(self, layers, vsa_nodes, h, w,
+                                          n_sub):
+        cand = GeometryCandidate(index=0, h=h, w=w, n_sub=n_sub)
+        layers, vsa_nodes = tuple(layers), tuple(vsa_nodes)
+        dense = _evaluate_geometry(cand, layers, vsa_nodes, search="dense")
+        for mode in ("bisect", "auto"):
+            other = _evaluate_geometry(cand, layers, vsa_nodes, search=mode)
+            assert (
+                other.t_parallel, other.nl_bar, other.nv_bar,
+                other.t_sequential, other.evaluated,
+            ) == (
+                dense.t_parallel, dense.nl_bar, dense.nv_bar,
+                dense.t_sequential, dense.evaluated,
+            ), mode
+
+    def test_overflow_risk_falls_back_to_scalar_path(self):
+        """Huge dims: batched modes silently use the scalar dense scan."""
+        cand = GeometryCandidate(index=0, h=4, w=4, n_sub=4)
+        layers = (GemmDims(30_000_000, 30_000_000, 30_000_000),)
+        vsa_nodes = (VsaDims(2, 64),)
+        dense = _evaluate_geometry(cand, layers, vsa_nodes, search="dense")
+        for mode in ("bisect", "auto"):
+            other = _evaluate_geometry(cand, layers, vsa_nodes, search=mode)
+            assert (other.t_parallel, other.nl_bar, other.nv_bar) == (
+                dense.t_parallel, dense.nl_bar, dense.nv_bar
+            )
+            assert other.probes == dense.probes  # proof it took the scalar path
+
+    def test_bisect_probes_fewer_models_at_scale(self):
+        cand = GeometryCandidate(index=0, h=4, w=4, n_sub=512)
+        layers = (GemmDims(64, 2048, 64),)
+        vsa_nodes = (VsaDims(16, 4096),)
+        dense = _evaluate_geometry(cand, layers, vsa_nodes, search="dense")
+        fast = _evaluate_geometry(cand, layers, vsa_nodes, search="bisect")
+        assert dense.probes == 512           # 1 sequential + 511 splits
+        assert fast.probes < dense.probes // 10
+        assert fast.evaluated == dense.evaluated  # logical count is shared
+
+
+@pytest.mark.parametrize("mode", ["bisect", "auto"])
+class TestReportEquivalence:
+    def test_report_is_byte_identical(self, small_nvsa_graph, mode):
+        baseline = DseEngine(
+            max_pes=1024, partition_search="dense"
+        ).explore(small_nvsa_graph)
+        report = DseEngine(
+            max_pes=1024, partition_search=mode
+        ).explore(small_nvsa_graph)
+        assert pickle.dumps(report) == pickle.dumps(baseline)
+
+    def test_report_identical_across_jobs(self, small_nvsa_graph, mode):
+        serial = DseEngine(
+            max_pes=256, partition_search=mode, jobs=1
+        ).explore(small_nvsa_graph)
+        pooled = DseEngine(
+            max_pes=256, partition_search=mode, jobs=2
+        ).explore(small_nvsa_graph)
+        assert pickle.dumps(pooled) == pickle.dumps(serial)
+
+
+class TestSweepEquivalence:
+    def test_sweep_outcomes_identical_across_modes_and_jobs(self):
+        grid = ScenarioGrid(workloads=("prae", "mimonet"),
+                            max_pes=(256,))
+
+        def fingerprint(result):
+            return [
+                (
+                    o.scenario_id,
+                    o.evaluations,
+                    pickle.dumps(o.artifacts.config),
+                    pickle.dumps(o.artifacts.report),
+                    o.artifacts.latency_ms,
+                )
+                for o in result.outcomes
+            ]
+
+        baseline = fingerprint(run_sweep(grid, partition_search="dense"))
+        for mode in ("bisect", "auto"):
+            assert fingerprint(
+                run_sweep(grid, partition_search=mode)
+            ) == baseline, mode
+        assert fingerprint(
+            run_sweep(grid, partition_search="auto", jobs=2)
+        ) == baseline
+
+    def test_sweep_rejects_unknown_mode(self):
+        from repro.errors import ConfigError
+
+        with pytest.raises(ConfigError):
+            run_sweep(ScenarioGrid(workloads=("prae",)),
+                      partition_search="quantum")
+
+    def test_sweep_result_carries_stage_timings(self):
+        result = run_sweep(ScenarioGrid(workloads=("prae",), max_pes=(256,)))
+        assert "phase1.sweep" in result.stage_timings
+        assert result.stage_timings["phase1.sweep"].items > 0
+
+
+class TestEngineValidation:
+    def test_unknown_partition_search_rejected(self):
+        with pytest.raises(DSEError):
+            DseEngine(partition_search="linear")
+
+    def test_modes_tuple_is_the_cli_contract(self):
+        assert PARTITION_SEARCH_MODES == ("auto", "bisect", "dense")
+
+
+class TestPoolLifecycle:
+    def test_close_clears_model_caches(self):
+        clear_model_caches()
+        layer_runtime(4, 4, 2, GemmDims(16, 8, 9))
+        assert layer_runtime.cache_info().currsize == 1
+        with DsePool(jobs=1):
+            pass
+        assert layer_runtime.cache_info().currsize == 0
+        assert LAYER_RUNTIME_CACHE.stats.entries == 0
+
+    def test_close_can_keep_caches_warm(self):
+        clear_model_caches()
+        layer_runtime(4, 4, 2, GemmDims(16, 8, 9))
+        with DsePool(jobs=1, clear_caches_on_close=False):
+            pass
+        assert layer_runtime.cache_info().currsize == 1
+
+    def test_map_chunksize_validation_and_passthrough(self):
+        with DsePool(jobs=1, clear_caches_on_close=False) as pool:
+            assert pool.map(lambda x: x + 1, [1, 2, 3], chunksize=2) == \
+                [2, 3, 4]
+            with pytest.raises(DSEError):
+                pool.map(lambda x: x, [1], chunksize=0)
+
+    def test_map_chunksize_batches_ipc(self):
+        with DsePool(jobs=2, clear_caches_on_close=False) as pool:
+            items = list(range(100))
+            assert pool.map(_double, items) == [2 * i for i in items]
+            assert pool.map(_double, items, chunksize=25) == \
+                [2 * i for i in items]
+
+
+def _double(x):
+    return 2 * x
+
+
+class TestCacheCounters:
+    def test_snapshot_surfaces_entries_and_lru_layers(self):
+        clear_model_caches()
+        layer_runtime(4, 4, 2, GemmDims(16, 8, 9))
+        snap = counters_snapshot()
+        assert snap["lru.layer_runtime"] == (0, 1, 1)   # hits, misses, size
+        layer_runtime(4, 4, 2, GemmDims(16, 8, 9))
+        stats = cache_stats()
+        assert stats["lru.layer_runtime"].hits == 1
+        assert stats["lru.layer_runtime"].entries == 1
+        assert all(len(v) == 3 for v in counters_snapshot().values())
+
+
+class TestStageTimings:
+    def test_explore_records_stages(self, small_nvsa_graph):
+        clear_stage_timings()
+        DseEngine(max_pes=256).explore(small_nvsa_graph)
+        stages = stage_timings()
+        for name in ("phase1.sweep", "phase1.model_probes", "phase2.refine",
+                     "pareto.filter"):
+            assert name in stages, name
+        assert stages["phase1.sweep"].calls == 1
+        assert stages["phase1.model_probes"].items > 0
+
+    def test_snapshot_delta_isolates_new_work(self, small_nvsa_graph):
+        clear_stage_timings()
+        DseEngine(max_pes=256).explore(small_nvsa_graph)
+        snap = timings_snapshot()
+        assert stage_timings_since(snap) == {}
+        DseEngine(max_pes=256).explore(small_nvsa_graph)
+        delta = stage_timings_since(snap)
+        assert delta["phase1.sweep"].calls == 1
+
+    def test_delta_after_clear_never_goes_negative(self):
+        from repro.dse.timing import record_stage
+
+        clear_stage_timings()
+        record_stage("phase1.sweep", 10.0, items=100)
+        for _ in range(4):
+            record_stage("phase1.sweep", 0.0)
+        snap = timings_snapshot()          # (10.0 s, 5 calls, 100 items)
+        clear_stage_timings()
+        for _ in range(6):                 # more calls than the snapshot saw
+            record_stage("phase1.sweep", 0.1, items=1)
+        delta = stage_timings_since(snap)["phase1.sweep"]
+        assert delta.seconds == pytest.approx(0.6)
+        assert delta.calls == 6
+        assert delta.items == 6
+
+
+class TestCli:
+    def test_compile_partition_search_and_timings(self, capsys):
+        assert main([
+            "compile", "mimonet", "--partition-search", "bisect", "--timings",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "DSE stage timings" in out
+        assert "phase1.sweep" in out
+
+    def test_compile_modes_agree_on_stdout_design(self, capsys):
+        designs = []
+        for mode in PARTITION_SEARCH_MODES:
+            assert main(["compile", "mimonet", "--partition-search", mode]) \
+                == 0
+            out = capsys.readouterr().out
+            designs.append(
+                [line for line in out.splitlines()
+                 if "AdArray" in line or "partition" in line
+                 or "Simulated latency" in line]
+            )
+        assert designs[0] == designs[1] == designs[2]
+
+    def test_sweep_partition_search_flag(self, capsys):
+        assert main([
+            "sweep", "--workloads", "prae", "--no-cache",
+            "--partition-search", "dense", "--timings",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "DSE stage timings" in out
+        assert "phase1.search_dense" in out
