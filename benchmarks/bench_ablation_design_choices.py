@@ -13,7 +13,6 @@ mechanisms the architecture stakes its efficiency on:
 
 from __future__ import annotations
 
-import pytest
 
 from repro import NSFlow, build_workload
 from repro.flow import format_table

@@ -71,7 +71,6 @@ def test_fig6_ablation(benchmark, ablation_series):
     once(benchmark, lambda: text)
     emit("fig6_ablation", text)
 
-    ratios = [r for r, *_ in ablation_series]
     full = [f for _, f, _, _ in ablation_series]
     mono = [m for _, _, _, m in ablation_series]
 

@@ -61,6 +61,18 @@ def main() -> None:
     for line in design.host_code.splitlines()[:6]:
         print(" ", line)
 
+    # 7. Re-price through the memory-aware schedule backend: same flow,
+    #    different cost model (NSFlow(backend="schedule") would also use
+    #    it for the DSE ranking itself).
+    sched = NSFlow(backend="schedule").compile(workload)
+    b = sched.evaluation.breakdown
+    print(f"\nSchedule-backend breakdown ({sched.evaluation.backend}):")
+    print(f"  compute {b.compute:,}  fill/drain {b.fill_drain:,}  "
+          f"DRAM {b.dram:,}  overlap -{b.overlap:,}  ->  total {b.total:,} "
+          f"cycles")
+    print(f"  analytic picked {design.config.geometry}, "
+          f"schedule picked {sched.config.geometry}")
+
 
 if __name__ == "__main__":
     main()

@@ -98,7 +98,7 @@ def simulate_column(
         # Collect finished wavefronts at the column bottom. Wavefront w
         # exits during cycle 3·height + w + WARMUP_CYCLES − 1; equivalently
         # the first valid bottom output appears at t = 3·height + 2.
-        bottom_stream, bottom_psum, bottom_valid = sampled[-1]
+        _bottom_stream, bottom_psum, bottom_valid = sampled[-1]
         if bottom_valid:
             if collected >= d:
                 raise SimulationError("column produced more outputs than d")

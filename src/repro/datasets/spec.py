@@ -11,7 +11,7 @@ I-RAVEN ≈ 99 %, PGM ≈ 69 %.
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from ..errors import ConfigError
 

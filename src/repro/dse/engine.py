@@ -11,11 +11,14 @@ two-phase co-exploration of paper Algorithm 1, restructured as
    (``jobs > 1``) or in-process (``jobs == 1``); the merge is performed
    in candidate order with strict-``<`` tie-breaking, so results are
    **bit-identical for every value of ``jobs``**;
-3. **batched kernels + monotone partition search** — the inner
-   static-partition loop runs as a crossing-point bisection over the
-   vectorized models of :mod:`repro.model.batch` (``partition_search``;
-   the dense scalar scan remains as the reference mode, and all modes
-   return bit-identical results);
+3. **a pluggable cost-model seam** — every design point is priced
+   through an :class:`repro.model.backend.EvaluationBackend`. The
+   default :class:`~repro.model.backend.AnalyticBackend` carries the
+   batched kernels and the monotone partition bisection
+   (``partition_search``; the dense scalar scan remains as the
+   reference mode, and all modes return bit-identical results), while
+   ``backend="schedule"`` re-ranks designs by memory-aware end-to-end
+   time;
 4. **memoized sub-models** — memory plan and SIMD width go through the
    keyed caches in :mod:`repro.model.cache`; layer/VSA latencies hit the
    ``lru_cache``-backed models of :mod:`repro.model.runtime`;
@@ -40,22 +43,22 @@ from collections.abc import Iterator, Sequence
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
 
-import numpy as np
-
 from ..errors import DSEError
 from ..graph.dataflow import DataflowGraph
-from ..model.batch import (
-    bisect_uniform_partition,
-    dense_uniform_partition,
-    fits_int64_domain,
-    sequential_runtime_batch,
+from ..model.backend import (
+    AUTO_DENSE_MAX_N,
+    EVALUATION_BACKENDS,
+    AnalyticBackend,
+    BackendInfo,
+    EvaluationBackend,
+    GeometryScore,
+    make_backend,
 )
 from ..model.cache import (
     cached_layer_runtime,
     cached_plan_memory,
     cached_simd_width,
     cached_vsa_node_runtime,
-    cached_workload_arrays,
     clear_model_caches,
 )
 from ..model.designspace import (
@@ -63,7 +66,6 @@ from ..model.designspace import (
     design_space_size,
     hw_config_candidates,
 )
-from ..model.runtime import parallel_runtime, sequential_runtime
 from ..nn.gemm import GemmDims
 from ..quant import MIXED_PRECISION_PRESETS, MixedPrecisionConfig
 from ..trace.opnode import VsaDims
@@ -87,6 +89,7 @@ __all__ = [
     "DEFAULT_RANGE_H",
     "DEFAULT_RANGE_W",
     "PARTITION_SEARCH_MODES",
+    "EVALUATION_BACKENDS",
     "AUTO_DENSE_MAX_N",
 ]
 
@@ -112,10 +115,9 @@ def _auto_chunksize(n_items: int, jobs: int) -> int:
     """Executor-map batching: ≈4 IPC shipments per worker, never per item."""
     return max(1, -(-n_items // (4 * jobs)))
 
-#: ``auto`` threshold: at or below this many sub-arrays, one vectorized
-#: dense pass over all ``N − 1`` splits is cheaper than the bisection's
-#: ``O(log N)`` separate probes (each probe is its own NumPy dispatch).
-AUTO_DENSE_MAX_N = 16
+#: The default cost model. Stateless, so one shared instance serves every
+#: engine that doesn't ask for a different backend.
+_ANALYTIC_BACKEND = AnalyticBackend()
 
 
 class DsePool:
@@ -359,13 +361,19 @@ class ParetoFrontier:
 
 @dataclass(frozen=True)
 class DseReport:
-    """Everything the DSE learned on the way to its design."""
+    """Everything the DSE learned on the way to its design.
+
+    ``backend`` records the cost model (name + version tag) every number
+    in this report was priced with, so persisted artifacts are
+    self-describing about their provenance.
+    """
 
     config: DesignConfig
     phase1: Phase1Result
     phase2: Phase2Result
     space: DesignSpaceSize
     pareto: ParetoFrontier | None = None
+    backend: BackendInfo | None = None
 
     @property
     def phase2_gain(self) -> float:
@@ -401,90 +409,41 @@ def pareto_filter(points: Sequence[ParetoPoint]) -> list[ParetoPoint]:
     return frontier
 
 
+def _eval_from_score(cand: GeometryCandidate, score: GeometryScore) -> GeometryEval:
+    """Attach the engine's enumeration index to a backend score."""
+    return GeometryEval(
+        index=cand.index,
+        h=cand.h,
+        w=cand.w,
+        n_sub=cand.n_sub,
+        t_sequential=score.t_sequential,
+        t_parallel=score.t_parallel,
+        nl_bar=score.nl_bar,
+        nv_bar=score.nv_bar,
+        evaluated=score.evaluated,
+        probes=score.probes,
+    )
+
+
 def _evaluate_geometry(
     cand: GeometryCandidate,
     layers: tuple[GemmDims, ...],
     vsa_nodes: tuple[VsaDims, ...],
     search: str = "dense",
-    arrays=None,
-    t_seq: int | None = None,
+    backend: EvaluationBackend | None = None,
 ) -> GeometryEval:
-    """Score one geometry exactly as the serial Phase I sweep does.
+    """Score one geometry through the cost-model seam.
 
-    ``search == "dense"`` is the reference path: the inner
-    static-partition loop runs ``N̄l`` ascending through the scalar
-    models with strict-``<`` updates, so the per-geometry winner matches
-    the historical serial sweep bit for bit. The batched paths
-    (``bisect`` directly, ``auto`` per geometry) produce the identical
-    triple via the monotone crossing-point search — or one vectorized
-    dense pass when ``N`` is small enough that probe dispatch overhead
-    would dominate. The cross-geometry merge happens in
-    :meth:`DseEngine.evaluate`.
+    The default backend is the analytic one, whose ``dense`` path is
+    the historical serial Phase I sweep bit for bit; the batched
+    strategies (``bisect``, ``auto``) return the identical triple. The
+    cross-geometry merge happens in :meth:`DseEngine.evaluate`.
     """
-    h, w, n_sub = cand.h, cand.w, cand.n_sub
-    if search == "dense":
-        t_seq = int(sequential_runtime(h, w, n_sub, layers, vsa_nodes))
-        evaluated = 1
-        if vsa_nodes:
-            best: tuple[int, int, int] | None = None
-            nl_vec = [0] * len(layers)
-            nv_vec = [0] * len(vsa_nodes)
-            for nl_bar in range(1, n_sub):
-                nv_bar = n_sub - nl_bar
-                for i in range(len(nl_vec)):
-                    nl_vec[i] = nl_bar
-                for j in range(len(nv_vec)):
-                    nv_vec[j] = nv_bar
-                t_para = parallel_runtime(
-                    h, w, nl_vec, nv_vec, layers, vsa_nodes
-                )
-                evaluated += 1
-                if best is None or t_para < best[0]:
-                    best = (int(t_para), nl_bar, nv_bar)
-            assert best is not None  # n_sub >= 2 guarantees one iteration
-            t_par, nl_bar, nv_bar = best
-        else:
-            # No VSA nodes: "parallel" degenerates to whole-array NN.
-            t_par, nl_bar, nv_bar = t_seq, n_sub, 0
-        probes = evaluated
-    else:
-        if arrays is None:
-            arrays = cached_workload_arrays(tuple(layers), tuple(vsa_nodes))
-        if not fits_int64_domain(arrays, h, h, w, w):
-            # Pathologically large dimensions could wrap the int64
-            # kernels; the scalar reference path handles any magnitude
-            # and returns the identical result.
-            return _evaluate_geometry(cand, layers, vsa_nodes)
-        if t_seq is None:
-            t_seq = int(
-                sequential_runtime_batch([h], [w], [n_sub], arrays)[0]
-            )
-        if vsa_nodes:
-            if search == "bisect" or n_sub > AUTO_DENSE_MAX_N:
-                found = bisect_uniform_partition(h, w, n_sub, arrays)
-            else:
-                found = dense_uniform_partition(h, w, n_sub, arrays)
-            t_par, nl_bar, nv_bar = (
-                found.t_parallel, found.nl_bar, found.nv_bar
-            )
-            probes = found.probes + 1          # + the sequential schedule
-            evaluated = n_sub                  # 1 sequential + (N − 1) splits
-        else:
-            t_par, nl_bar, nv_bar = t_seq, n_sub, 0
-            probes = 1
-            evaluated = 1
-    return GeometryEval(
-        index=cand.index,
-        h=h,
-        w=w,
-        n_sub=n_sub,
-        t_sequential=t_seq,
-        t_parallel=t_par,
-        nl_bar=nl_bar,
-        nv_bar=nv_bar,
-        evaluated=evaluated,
-        probes=probes,
+    backend = backend or _ANALYTIC_BACKEND
+    score = backend.score_geometry(
+        cand.h, cand.w, cand.n_sub, layers, vsa_nodes, search
     )
+    return _eval_from_score(cand, score)
 
 
 def _evaluate_candidates(
@@ -492,42 +451,20 @@ def _evaluate_candidates(
     layers: tuple[GemmDims, ...],
     vsa_nodes: tuple[VsaDims, ...],
     search: str = "dense",
+    backend: EvaluationBackend | None = None,
 ) -> list[GeometryEval]:
     """Score a batch of geometries under one search strategy.
 
-    The batched strategies pre-evaluate every geometry's sequential
-    runtime in a single NumPy pass over the whole batch (`G × (L + V)`
-    elementwise ops) before running the per-geometry partition search.
+    The analytic backend pre-evaluates every geometry's sequential
+    runtime in a single NumPy pass over the whole batch before running
+    the per-geometry partition search; other backends score geometries
+    one by one.
     """
-    if search == "dense" or not candidates:
-        return [_evaluate_geometry(c, layers, vsa_nodes) for c in candidates]
-    arrays = cached_workload_arrays(tuple(layers), tuple(vsa_nodes))
-    hs = np.array([c.h for c in candidates], dtype=np.int64)
-    ws = np.array([c.w for c in candidates], dtype=np.int64)
-    if not fits_int64_domain(
-        arrays, int(hs.min()), int(hs.max()), int(ws.min()), int(ws.max())
-    ):
-        # The box's high corner could wrap int64: skip the batched
-        # sequential precompute and let each geometry's own headroom
-        # check keep the batched path where it individually fits,
-        # reverting only the unsafe geometries to the scalar scan.
-        return [
-            _evaluate_geometry(c, layers, vsa_nodes, search=search,
-                               arrays=arrays)
-            for c in candidates
-        ]
-    t_seq = sequential_runtime_batch(
-        hs, ws,
-        np.array([c.n_sub for c in candidates], dtype=np.int64),
-        arrays,
+    backend = backend or _ANALYTIC_BACKEND
+    scores = backend.score_geometries(
+        [(c.h, c.w, c.n_sub) for c in candidates], layers, vsa_nodes, search
     )
-    return [
-        _evaluate_geometry(
-            c, layers, vsa_nodes, search=search, arrays=arrays,
-            t_seq=int(t_seq[i]),
-        )
-        for i, c in enumerate(candidates)
-    ]
+    return [_eval_from_score(c, s) for c, s in zip(candidates, scores)]
 
 
 def _evaluate_chunk(
@@ -535,9 +472,10 @@ def _evaluate_chunk(
     layers: tuple[GemmDims, ...],
     vsa_nodes: tuple[VsaDims, ...],
     search: str = "dense",
+    backend: EvaluationBackend | None = None,
 ) -> list[GeometryEval]:
     """Process-pool work unit: score a batch of geometries."""
-    return _evaluate_candidates(chunk, layers, vsa_nodes, search)
+    return _evaluate_candidates(chunk, layers, vsa_nodes, search, backend)
 
 
 class DseEngine:
@@ -581,6 +519,14 @@ class DseEngine:
         are **bit-identical across all three** — the knob only trades
         wall-clock (see DESIGN.md "Batched models & partition
         bisection").
+    backend:
+        The cost model every design point is priced with: a registry
+        name (``"analytic"`` — the default, the paper's Eqs. 1-5 — or
+        ``"schedule"`` — the memory-aware event-driven timeline), or an
+        :class:`~repro.model.backend.EvaluationBackend` instance.
+        Unlike ``jobs``/``partition_search`` this knob **changes
+        results**, so it joins the artifact-cache key and is stamped
+        into every report (see DESIGN.md "Evaluation backends").
     """
 
     def __init__(
@@ -598,6 +544,7 @@ class DseEngine:
         aspect_max: float = 16.0,
         pool: DsePool | None = None,
         partition_search: str = "auto",
+        backend: str | EvaluationBackend = "analytic",
     ):
         if not is_power_of_two(max_pes):
             raise DSEError(f"max_pes must be a power of two, got {max_pes}")
@@ -619,6 +566,16 @@ class DseEngine:
             )
         self.max_pes = max_pes
         self.precision = precision or MIXED_PRECISION_PRESETS["MP"]
+        if isinstance(backend, str):
+            if backend not in EVALUATION_BACKENDS:
+                raise DSEError(
+                    f"backend must be one of {', '.join(EVALUATION_BACKENDS)}, "
+                    f"got {backend!r}"
+                )
+            backend = make_backend(
+                backend, precision=self.precision, clock_mhz=clock_mhz
+            )
+        self.backend = backend
         self.iter_max = iter_max
         self.range_h = range_h
         self.range_w = range_w
@@ -695,12 +652,13 @@ class DseEngine:
         t0 = time.perf_counter()
         if self.jobs == 1:
             evals = _evaluate_candidates(
-                candidates, layers, vsa_nodes, self.partition_search
+                candidates, layers, vsa_nodes, self.partition_search,
+                self.backend,
             )
         else:
             work = functools.partial(
                 _evaluate_chunk, layers=layers, vsa_nodes=vsa_nodes,
-                search=self.partition_search,
+                search=self.partition_search, backend=self.backend,
             )
             chunks = self._make_chunks(candidates)
             if self.pool is not None:
@@ -800,7 +758,7 @@ class DseEngine:
         evals = self.evaluate(graph)
         phase1 = self._reduce_phase1(evals)
         t0 = time.perf_counter()
-        phase2 = run_phase2(graph, phase1, self.iter_max)
+        phase2 = run_phase2(graph, phase1, self.iter_max, backend=self.backend)
         record_stage(
             "phase2.refine", time.perf_counter() - t0,
             items=phase2.iterations_run,
@@ -863,6 +821,7 @@ class DseEngine:
             phase2=phase2,
             space=space,
             pareto=pareto,
+            backend=self.backend.info,
         )
 
     @staticmethod

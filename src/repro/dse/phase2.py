@@ -19,13 +19,7 @@ from dataclasses import dataclass
 
 from ..errors import DSEError
 from ..graph.dataflow import DataflowGraph
-from ..model.batch import (
-    fits_int64_domain,
-    nn_total_runtime_vec,
-    vsa_total_runtime_vec,
-)
-from ..model.cache import cached_workload_arrays
-from ..model.runtime import nn_total_runtime, vsa_total_runtime
+from ..model.backend import AnalyticBackend, EvaluationBackend
 from .phase1 import Phase1Result, extract_cost_dims
 
 __all__ = ["Phase2Result", "run_phase2"]
@@ -52,10 +46,16 @@ def run_phase2(
     graph: DataflowGraph,
     phase1: Phase1Result,
     iter_max: int = 8,
+    backend: EvaluationBackend | None = None,
 ) -> Phase2Result:
-    """Refine ``Nl``/``Nv`` around the Phase I point (Algorithm 1 l.17-25)."""
+    """Refine ``Nl``/``Nv`` around the Phase I point (Algorithm 1 l.17-25).
+
+    ``backend`` is the cost model every candidate move is priced with
+    (default: the analytic Eqs. 1-5, matching Phase I's default).
+    """
     if iter_max < 1:
         raise DSEError(f"iter_max must be >= 1, got {iter_max}")
+    backend = backend or AnalyticBackend()
     layers, vsa_nodes = extract_cost_dims(graph)
     if not vsa_nodes:
         # Nothing to balance; Phase II is a no-op.
@@ -73,23 +73,14 @@ def run_phase2(
     nv = [phase1.nv_bar] * len(vsa_nodes)
 
     # The refinement loop re-prices the full partition vectors on every
-    # candidate move; the batched kernels make each pricing one
-    # vectorized pass over (L + V) precomputed dimension rows instead of
-    # per-node scalar model calls (bit-identical integers either way).
-    # Dimensions big enough to wrap int64 fall back to the scalar models.
-    arrays = cached_workload_arrays(tuple(layers), tuple(vsa_nodes))
-    if fits_int64_domain(arrays, h, h, w, w):
-        def t_para() -> int:
-            return max(
-                nn_total_runtime_vec(h, w, nl, arrays),
-                vsa_total_runtime_vec(h, w, nv, arrays),
-            )
-    else:
-        def t_para() -> int:
-            return max(
-                nn_total_runtime(h, w, nl, layers),
-                vsa_total_runtime(h, w, nv, vsa_nodes),
-            )
+    # candidate move; the backend's pricer amortizes the per-geometry
+    # setup (the analytic backend precomputes its dimension arrays and
+    # prices each move as one vectorized pass over (L + V) rows,
+    # bit-identical to the scalar models).
+    pricer = backend.partition_pricer(h, w, tuple(layers), tuple(vsa_nodes))
+
+    def t_para() -> int:
+        return int(pricer(nl, nv))
 
     best_t = t_para()
     best_nl, best_nv = list(nl), list(nv)

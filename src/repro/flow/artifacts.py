@@ -17,14 +17,17 @@ Cache key
 * the target device's complete resource budget (not just its name),
 * the deployment precision pair,
 * the engine knobs that can change results: ``iter_max``, ``loops``,
-  ``max_pes``, ``clock_mhz``, and the H/W sweep ranges,
+  ``max_pes``, ``clock_mhz``, the H/W sweep ranges, and the evaluation
+  ``backend`` (``analytic`` vs ``schedule`` price designs differently,
+  so their artifacts must never collide),
 
 plus :data:`ARTIFACT_FORMAT_VERSION` (the on-disk schema) and
 :data:`ENGINE_CACHE_EPOCH` (the cost-model generation). Knobs that are
 guaranteed *not* to change results are deliberately excluded: ``jobs``
-(bit-identical for any worker count) and ``pareto_k`` (the store always
-keeps the full frontier; truncation happens at render time). See
-DESIGN.md "Sweep & artifact cache".
+(bit-identical for any worker count), ``pareto_k`` (the store always
+keeps the full frontier; truncation happens at render time), and
+``partition_search`` (every strategy returns bit-identical artifacts).
+See DESIGN.md "Sweep & artifact cache".
 
 Layout
 ------
@@ -64,6 +67,7 @@ from ..dse.engine import (
     ParetoFrontier,
     ParetoPoint,
 )
+from ..model.backend import BackendInfo, backend_version
 from ..dse.phase1 import Phase1Result
 from ..dse.phase2 import Phase2Result
 from ..model.designspace import DesignSpaceSize
@@ -85,13 +89,17 @@ __all__ = [
 ]
 
 #: On-disk schema version; bump when the artifact file layout changes.
-ARTIFACT_FORMAT_VERSION = 1
+#: v2: report.json gained the producing backend's ``{name, version}``.
+ARTIFACT_FORMAT_VERSION = 2
 
 #: Cost-model generation. Bump whenever the analytical models, the DSE
 #: semantics, or the backend estimators change in a way that can alter
 #: results for identical inputs — every previously cached scenario then
 #: misses and recompiles.
-ENGINE_CACHE_EPOCH = 1
+#: Epoch 2: the evaluation-backend seam — the ``backend`` knob joined
+#: the key document, so pre-seam entries (which never recorded one)
+#: must all miss.
+ENGINE_CACHE_EPOCH = 2
 
 
 def scenario_cache_key(
@@ -106,6 +114,7 @@ def scenario_cache_key(
     clock_mhz: float = DEFAULT_CLOCK_MHZ,
     range_h: tuple[int, int] = DEFAULT_RANGE_H,
     range_w: tuple[int, int] = DEFAULT_RANGE_W,
+    backend: str = "analytic",
 ) -> str:
     """Content hash of everything that determines a scenario's artifacts."""
     return stable_digest(_key_doc(
@@ -119,6 +128,7 @@ def scenario_cache_key(
         clock_mhz=clock_mhz,
         range_h=range_h,
         range_w=range_w,
+        backend=backend,
     ), length=32)
 
 
@@ -134,6 +144,7 @@ def _key_doc(
     clock_mhz: float,
     range_h: tuple[int, int],
     range_w: tuple[int, int],
+    backend: str = "analytic",
 ) -> dict:
     return {
         "format": ARTIFACT_FORMAT_VERSION,
@@ -151,6 +162,11 @@ def _key_doc(
             "clock_mhz": clock_mhz,
             "range_h": list(range_h),
             "range_w": list(range_w),
+            # Result-affecting: backends price designs differently, so
+            # their entries must never collide — and keying on the
+            # version tag too means a backend whose pricing changes
+            # invalidates exactly its own cached scenarios.
+            "backend": {"name": backend, "version": backend_version(backend)},
         },
     }
 
@@ -194,6 +210,7 @@ def _report_doc(design: "CompiledDesign") -> dict:
     frontier = dse.pareto
     return {
         "format_version": ARTIFACT_FORMAT_VERSION,
+        "backend": None if dse.backend is None else jsonable(dse.backend),
         "phase1": jsonable(dse.phase1),
         "phase2": jsonable(dse.phase2),
         "space": jsonable(dse.space),
@@ -254,6 +271,10 @@ def _artifacts_from_docs(
         ),
         space=DesignSpaceSize(**report["space"]),
         pareto=_frontier_from_doc(report["pareto"]),
+        backend=(
+            None if report.get("backend") is None
+            else BackendInfo(**report["backend"])
+        ),
     )
     return ScenarioArtifacts(
         trace=trace,

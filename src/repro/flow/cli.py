@@ -38,6 +38,15 @@ DSE flags
     search over the batched NumPy kernels (``O(log N)`` probes instead
     of ``N − 1``); ``auto`` (default) picks per geometry. **Results are
     bit-identical across all three** — the knob only trades wall-clock.
+``--backend {analytic,schedule}``
+    The evaluation cost model every design point is priced with.
+    ``analytic`` (default) is the paper's Eqs. 1-5 — compute cycles
+    only, byte-identical to the historical engine. ``schedule`` is the
+    memory-aware event-driven timeline over the ``arch/`` models (DRAM
+    bandwidth, double-buffered transfer overlap) — **result-affecting**,
+    so it is part of the sweep cache key and is recorded in every
+    report. ``compile`` prints the backend's latency breakdown
+    (compute / fill-drain / DRAM / overlap) after the summary.
 ``--timings``
     Print the DSE stage-timing table (Phase I sweep seconds, model
     probes paid, Phase II refinement, Pareto filtering) after the run —
@@ -80,6 +89,7 @@ from .artifacts import ArtifactStore
 from .nsflow import NSFlow
 from .report import (
     format_table,
+    latency_breakdown_table,
     pareto_frontier_table,
     stage_timings_table,
     sweep_comparison_table,
@@ -88,7 +98,7 @@ from .report import (
 )
 from .sweep import ScenarioGrid, run_sweep
 from ..dse.config import design_config_to_json
-from ..dse.engine import PARTITION_SEARCH_MODES
+from ..dse.engine import EVALUATION_BACKENDS, PARTITION_SEARCH_MODES
 from ..dse.timing import stage_timings_since, timings_snapshot
 
 __all__ = ["main", "build_parser"]
@@ -123,6 +133,11 @@ def build_parser() -> argparse.ArgumentParser:
                       default="auto", dest="partition_search",
                       help="Phase I partition-search strategy (results are "
                            "bit-identical across all choices)")
+    comp.add_argument("--backend", choices=EVALUATION_BACKENDS,
+                      default="analytic",
+                      help="evaluation cost model: 'analytic' (Eqs. 1-5, "
+                           "compute-only) or 'schedule' (memory-aware "
+                           "event-driven timeline); result-affecting")
     comp.add_argument("--timings", action="store_true",
                       help="print the DSE stage-timing table after the run")
     comp.add_argument("--out", type=pathlib.Path, default=None,
@@ -167,6 +182,10 @@ def build_parser() -> argparse.ArgumentParser:
                      help="Phase I partition-search strategy applied to "
                           "every scenario (results are bit-identical "
                           "across all choices)")
+    swp.add_argument("--backends", default="analytic",
+                     help="comma-separated evaluation backends as a grid "
+                          f"axis (available: {', '.join(EVALUATION_BACKENDS)}"
+                          "); result-affecting, part of the cache key")
     swp.add_argument("--timings", action="store_true",
                      help="print the full DSE stage-timing table after "
                           "the sweep summary")
@@ -221,6 +240,7 @@ def _cmd_compile(args: argparse.Namespace) -> int:
         jobs=args.jobs,
         pareto_k=args.pareto_k,
         partition_search=args.partition_search,
+        backend=args.backend,
     )
     snapshot = timings_snapshot()
     design = nsf.compile(workload, n_loops=args.loops)
@@ -241,12 +261,18 @@ def _cmd_compile(args: argparse.Namespace) -> int:
         ["BRAM / URAM / LUTRAM", f"{r.bram_pct:.0f}% / {r.uram_pct:.0f}% / "
                                  f"{r.lutram_pct:.0f}%"],
         ["Clock", f"{r.clock_mhz:.0f} MHz"],
+        ["Cost backend", str(design.dse.backend) if design.dse.backend
+         else args.backend],
         ["Simulated latency", f"{design.latency_ms:.3f} ms"],
     ]
     print(format_table(
         ["Parameter", "Value"], rows,
         title=f"NSFlow design: {workload.name} on {r.device}",
     ))
+
+    if design.evaluation is not None:
+        print()
+        print(latency_breakdown_table(design.evaluation, clock_mhz=c.clock_mhz))
 
     if design.dse.pareto is not None and design.dse.pareto:
         print()
@@ -293,6 +319,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         precisions=_split_csv(args.precisions),
         loops=loops,
         iter_maxes=(args.iter_max,),
+        backends=tuple(b.lower() for b in _split_csv(args.backends)),
         include=tuple(args.include),
         exclude=tuple(args.exclude),
     )

@@ -32,6 +32,7 @@ from ..dse.engine import (
 from ..errors import ConfigError
 from ..graph.build import build_dataflow_graph, fuse_loops
 from ..graph.dataflow import DataflowGraph
+from ..model.backend import DesignEvaluation, EvaluationBackend
 from ..quant import MIXED_PRECISION_PRESETS, MixedPrecisionConfig
 from ..trace.opnode import Trace
 from ..workloads.base import NSAIWorkload
@@ -42,7 +43,13 @@ __all__ = ["NSFlow", "CompiledDesign"]
 
 @dataclass(frozen=True)
 class CompiledDesign:
-    """Everything NSFlow produces for one workload."""
+    """Everything NSFlow produces for one workload.
+
+    ``evaluation`` is the chosen design re-priced through the DSE's
+    evaluation backend with a full latency breakdown (compute,
+    fill/drain, DRAM, overlap) — the number the ``--backend`` knob
+    changes, alongside the report it produced.
+    """
 
     workload: str
     trace: Trace
@@ -53,6 +60,7 @@ class CompiledDesign:
     resources: ResourceEstimate
     rtl_header: str
     host_code: str
+    evaluation: DesignEvaluation | None = None
 
     @property
     def latency_s(self) -> float:
@@ -80,6 +88,7 @@ class NSFlow:
         pareto_k: int | None = None,
         pool: DsePool | None = None,
         partition_search: str = "auto",
+        backend: str | EvaluationBackend = "analytic",
     ):
         self.device = device
         self.precision = precision or MIXED_PRECISION_PRESETS["MP"]
@@ -92,6 +101,7 @@ class NSFlow:
         self.pareto_k = pareto_k
         self.pool = pool
         self.partition_search = partition_search
+        self.backend = backend
         if self.max_pes < 4:
             raise ConfigError(f"device {device.name} supports too few PEs")
 
@@ -119,11 +129,29 @@ class NSFlow:
             pareto_k=self.pareto_k,
             pool=self.pool,
             partition_search=self.partition_search,
+            backend=self.backend,
         )
         report = dse.explore(graph)
         config = report.config
         schedule = Controller(config).schedule(graph)
         resources = estimate_resources(config, self.device)
+        layer_items = [(n.name, n.gemm) for n in graph.layer_nodes
+                       if n.gemm is not None]
+        vsa_items = [(n.name, n.vsa) for n in graph.vsa_nodes
+                     if n.vsa is not None]
+        evaluation = dse.backend.evaluate_design(
+            config.h,
+            config.w,
+            config.n_sub,
+            config.mode.value,
+            config.nl,
+            config.nv,
+            [dims for _, dims in layer_items],
+            [dims for _, dims in vsa_items],
+            layer_names=[name for name, _ in layer_items],
+            vsa_names=[name for name, _ in vsa_items],
+            mem_c_bytes=config.memory.mem_c_bytes,
+        )
         return CompiledDesign(
             workload=workload.name,
             trace=trace,
@@ -134,6 +162,7 @@ class NSFlow:
             resources=resources,
             rtl_header=generate_rtl_parameters(config),
             host_code=generate_host_code(config, graph),
+            evaluation=evaluation,
         )
 
     def latency_s(self, workload: NSAIWorkload) -> float:

@@ -20,12 +20,14 @@ from ..errors import ConfigError
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..dse.engine import ParetoFrontier
     from ..dse.timing import StageStat
+    from ..model.backend import DesignEvaluation
     from .sweep import SweepResult
 
 __all__ = [
     "format_table",
     "speedup_table",
     "pareto_frontier_table",
+    "latency_breakdown_table",
     "stage_timings_table",
     "sweep_results_table",
     "sweep_comparison_table",
@@ -106,6 +108,46 @@ def pareto_frontier_table(
     )
 
 
+def latency_breakdown_table(
+    evaluation: "DesignEvaluation",
+    clock_mhz: float = 272.0,
+    title: str | None = None,
+) -> str:
+    """Render a backend's :class:`~repro.model.backend.CycleBreakdown`.
+
+    One row per component — steady-state compute, systolic fill/drain,
+    DRAM traffic, and the overlap credit (cycles hidden by double
+    buffering and, in parallel mode, by inter-loop parallelism) — then
+    the end-to-end total. The share column is each row's fraction of
+    the gross (pre-overlap) cycle sum: the three cost rows add to 100%,
+    the overlap row is the hidden fraction, and the total row is what
+    remains end to end (``total = gross - overlap``).
+    """
+    b = evaluation.breakdown
+    gross = max(b.compute + b.fill_drain + b.dram, 1)
+
+    def row(name: str, cycles: int, sign: str = "") -> list:
+        return [
+            name,
+            f"{sign}{cycles:,}",
+            f"{cycles / (clock_mhz * 1e6) * 1e3:.3f}",
+            f"{100 * cycles / gross:.1f}%",
+        ]
+
+    rows = [
+        row("compute", b.compute),
+        row("fill/drain", b.fill_drain),
+        row("DRAM traffic", b.dram),
+        row("overlap (hidden)", b.overlap, sign="-"),
+        row("total", b.total),
+    ]
+    return format_table(
+        ["Component", "Cycles", "ms", "Share"],
+        rows,
+        title=title or f"Latency breakdown ({evaluation.backend})",
+    )
+
+
 def stage_timings_table(
     timings: dict[str, "StageStat"], title: str | None = None
 ) -> str:
@@ -139,12 +181,14 @@ def sweep_results_table(result: "SweepResult", title: str | None = None) -> str:
     """One row per sweep scenario: design point, latency, provenance.
 
     ``Source`` distinguishes fresh compilations from artifact-cache hits;
-    ``Evals`` counts the Phase-I model evaluations the scenario actually
-    paid for (always 0 on a hit); ``vs best`` is the latency delta
-    against the same workload's fastest scenario, so device/precision
-    penalties read directly off the table. Error rows keep their slot —
-    failure isolation means a sweep report always accounts for every
-    scenario it was asked to run.
+    ``Backend`` names the cost model (and version) the scenario's
+    report was priced with; ``Evals`` counts the Phase-I model
+    evaluations the scenario actually paid for (always 0 on a hit);
+    ``vs best`` is the latency delta against the same workload's
+    fastest scenario, so device/precision penalties read directly off
+    the table. Error rows keep their slot — failure isolation means a
+    sweep report always accounts for every scenario it was asked to
+    run.
     """
     best_by_workload: dict[str, float] = {}
     for o in result.ok_outcomes():
@@ -162,10 +206,12 @@ def sweep_results_table(result: "SweepResult", title: str | None = None) -> str:
                 "best" if o.latency_ms <= best
                 else f"+{100 * (o.latency_ms / best - 1):.1f}%"
             )
+            backend = o.artifacts.report.backend
             rows.append([
                 o.scenario_id,
                 "ok",
                 "cache" if o.cached else "fresh",
+                str(backend) if backend is not None else "-",
                 str(c.geometry),
                 c.mode.value,
                 c.default_partition if c.mode.value == "parallel" else "-",
@@ -178,11 +224,11 @@ def sweep_results_table(result: "SweepResult", title: str | None = None) -> str:
         else:
             rows.append([
                 o.scenario_id, "ERROR", "-", "-", "-", "-", "-", "-", "-",
-                "0", "-",
+                "-", "0", "-",
             ])
     table = format_table(
-        ["Scenario", "Status", "Source", "(H, W, N)", "Mode", "Nl:Nv",
-         "SIMD", "Latency (ms)", "DSP", "Evals", "vs best"],
+        ["Scenario", "Status", "Source", "Backend", "(H, W, N)", "Mode",
+         "Nl:Nv", "SIMD", "Latency (ms)", "DSP", "Evals", "vs best"],
         rows,
         title=title or "Sweep results",
     )
@@ -274,6 +320,17 @@ def sweep_summary(result: "SweepResult") -> str:
         f"Fresh DSE evaluations: {result.total_evaluations:,} candidate "
         f"models ({result.fresh_model_evaluations:,} model-cache misses)"
     )
+    backends: dict[str, int] = {}
+    for o in result.ok_outcomes():
+        if o.artifacts is not None and o.artifacts.report.backend is not None:
+            key = str(o.artifacts.report.backend)
+            backends[key] = backends.get(key, 0) + 1
+    if backends:
+        lines.append(
+            "Evaluation backends: " + ", ".join(
+                f"{name} x{count}" for name, count in sorted(backends.items())
+            )
+        )
     sweep_stage = result.stage_timings.get("phase1.sweep")
     if sweep_stage is not None:
         probes = result.stage_timings.get("phase1.model_probes")

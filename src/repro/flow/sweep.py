@@ -39,6 +39,7 @@ from ..dse.engine import (
 )
 from ..dse.timing import StageStat, stage_timings_since, timings_snapshot
 from ..errors import ConfigError
+from ..model.backend import EVALUATION_BACKENDS
 from ..model.cache import counters_snapshot, fresh_evaluations_since
 from ..quant import MIXED_PRECISION_PRESETS, MixedPrecisionConfig
 from ..utils import jsonable, stable_digest
@@ -67,6 +68,8 @@ class ScenarioSpec:
     ``max_pes=None`` defers to the device's DSP budget (the paper's
     ``M``); ``overrides`` are workload-config overrides as a sorted
     tuple of ``(field, value)`` pairs so specs stay hashable.
+    ``backend`` picks the evaluation cost model — result-affecting, so
+    it is part of the scenario's identity and cache key.
     """
 
     workload: str
@@ -75,6 +78,7 @@ class ScenarioSpec:
     iter_max: int = 8
     loops: int = 1
     max_pes: int | None = None
+    backend: str = "analytic"
     overrides: tuple[tuple[str, object], ...] = ()
 
     def __post_init__(self) -> None:
@@ -97,6 +101,11 @@ class ScenarioSpec:
             raise ConfigError(f"iter_max must be >= 1, got {self.iter_max}")
         if self.loops < 1:
             raise ConfigError(f"loops must be >= 1, got {self.loops}")
+        if self.backend not in EVALUATION_BACKENDS:
+            raise ConfigError(
+                f"unknown backend {self.backend!r}; "
+                f"available: {', '.join(EVALUATION_BACKENDS)}"
+            )
         object.__setattr__(
             self, "overrides", tuple(sorted(tuple(self.overrides)))
         )
@@ -111,6 +120,8 @@ class ScenarioSpec:
             sid += f"/iter{self.iter_max}"
         if self.max_pes is not None:
             sid += f"/pes{self.max_pes}"
+        if self.backend != "analytic":
+            sid += f"/{self.backend}"
         if self.overrides:
             sid += "/" + ",".join(f"{k}={v}" for k, v in self.overrides)
         return sid
@@ -146,6 +157,7 @@ class ScenarioSpec:
             clock_mhz=DEFAULT_CLOCK_MHZ,
             range_h=DEFAULT_RANGE_H,
             range_w=DEFAULT_RANGE_W,
+            backend=self.backend,
         )
 
     def cache_key(self) -> str:
@@ -181,6 +193,7 @@ class ScenarioGrid:
     loops: tuple[int, ...] = (1,)
     iter_maxes: tuple[int, ...] = (8,)
     max_pes: tuple[int | None, ...] = (None,)
+    backends: tuple[str, ...] = ("analytic",)
     overrides: tuple[tuple[str, object], ...] = ()
     include: tuple[str, ...] = ()
     exclude: tuple[str, ...] = ()
@@ -188,12 +201,12 @@ class ScenarioGrid:
     def __post_init__(self) -> None:
         for name in (
             "workloads", "devices", "precisions", "loops", "iter_maxes",
-            "max_pes", "include", "exclude",
+            "max_pes", "backends", "include", "exclude",
         ):
             object.__setattr__(self, name, _as_tuple(getattr(self, name)))
         object.__setattr__(self, "overrides", tuple(self.overrides))
         for axis in ("workloads", "devices", "precisions", "loops", "iter_maxes",
-                     "max_pes"):
+                     "max_pes", "backends"):
             if not getattr(self, axis):
                 raise ConfigError(f"grid axis {axis!r} must be non-empty")
 
@@ -218,17 +231,19 @@ class ScenarioGrid:
                     for loops in self.loops:
                         for iter_max in self.iter_maxes:
                             for pes in self.max_pes:
-                                spec = ScenarioSpec(
-                                    workload=workload,
-                                    device=device,
-                                    precision=precision,
-                                    iter_max=iter_max,
-                                    loops=loops,
-                                    max_pes=pes,
-                                    overrides=self.overrides,
-                                )
-                                if self._selected(spec.scenario_id):
-                                    specs.append(spec)
+                                for backend in self.backends:
+                                    spec = ScenarioSpec(
+                                        workload=workload,
+                                        device=device,
+                                        precision=precision,
+                                        iter_max=iter_max,
+                                        loops=loops,
+                                        max_pes=pes,
+                                        backend=backend,
+                                        overrides=self.overrides,
+                                    )
+                                    if self._selected(spec.scenario_id):
+                                        specs.append(spec)
         return specs
 
     def __len__(self) -> int:
@@ -322,6 +337,7 @@ def _compile_scenario(
         pool=pool,
         pareto_k=None,   # always keep the full frontier; render-time truncation
         partition_search=partition_search,
+        backend=spec.backend,
     )
     design = nsf.compile(workload, n_loops=spec.loops)
     artifacts = ScenarioArtifacts(

@@ -10,7 +10,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from ..errors import GraphError
-from ..trace.opnode import ExecutionUnit, OpDomain
+from ..trace.opnode import OpDomain
 from .dataflow import DataflowGraph
 
 __all__ = ["GraphStats", "graph_stats"]

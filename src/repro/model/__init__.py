@@ -29,6 +29,18 @@ from .batch import (
     sequential_runtime_vec,
     vsa_total_runtime_vec,
 )
+from .backend import (
+    EVALUATION_BACKENDS,
+    AnalyticBackend,
+    BackendInfo,
+    CycleBreakdown,
+    DesignEvaluation,
+    EvaluationBackend,
+    GeometryScore,
+    ScheduleBackend,
+    backend_version,
+    make_backend,
+)
 from .cache import (
     CacheStats,
     EvalCache,
@@ -65,6 +77,16 @@ __all__ = [
     "parallel_runtime_vec",
     "sequential_runtime_vec",
     "sequential_runtime_batch",
+    "EVALUATION_BACKENDS",
+    "AnalyticBackend",
+    "BackendInfo",
+    "CycleBreakdown",
+    "DesignEvaluation",
+    "EvaluationBackend",
+    "GeometryScore",
+    "ScheduleBackend",
+    "backend_version",
+    "make_backend",
     "CacheStats",
     "EvalCache",
     "cache_stats",

@@ -18,7 +18,6 @@ from dataclasses import dataclass
 from ..errors import ConfigError
 from ..graph.dataflow import DataflowGraph
 from ..quant import MixedPrecisionConfig
-from ..trace.opnode import ExecutionUnit
 from ..utils import MB, ceil_div
 from .runtime import simd_runtime
 

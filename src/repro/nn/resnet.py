@@ -20,7 +20,6 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from ..errors import ShapeError
-from ..utils import prod
 from .gemm import GemmDims
 from .layers import (
     Add,

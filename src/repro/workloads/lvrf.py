@@ -18,7 +18,6 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-import numpy as np
 
 from ..datasets.rpm import RpmProblem
 from ..datasets.spec import RpmAttribute, make_spec

@@ -102,7 +102,9 @@ class MimoNetWorkload(NSAIWorkload):
             raise ConfigError(
                 f"need exactly {self.config.superposition} items, got {len(items)}"
             )
-        q = lambda x: quantize_array(x, self.config.precision.symbolic)
+        def q(x):
+            return quantize_array(x, self.config.precision.symbolic)
+
         total = np.zeros(self.config.image_size**2)
         for key, item in zip(self._keys, items):
             total = total + q(vops.circular_convolution(key, self._flatten(item)))

@@ -5,9 +5,7 @@ import pytest
 from repro.arch.controller import Controller
 from repro.dse import ExecutionMode, TwoPhaseDSE
 from repro.errors import ScheduleError
-from repro.graph import build_dataflow_graph
 from repro.graph.dataflow import DataflowGraph
-from repro.trace.opnode import ExecutionUnit
 
 
 @pytest.fixture(scope="module")

@@ -8,7 +8,6 @@ from repro.baselines import (
     RooflineDevice,
     RTX_2080TI,
     TpuLikeArray,
-    XEON_CPU,
     baseline_devices,
     fig5_devices,
 )

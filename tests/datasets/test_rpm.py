@@ -5,7 +5,6 @@ sampled rules, row by row — the solver's accuracy numbers are meaningless
 otherwise.
 """
 
-import numpy as np
 import pytest
 from hypothesis import given, settings, strategies as st
 

@@ -259,3 +259,62 @@ class TestCompatibilityShim:
         assert dse.iter_max == 3
         assert dse.range_h == (4, 256)
         assert dse.clock_mhz == pytest.approx(272.0)
+
+
+class TestEvaluationBackends:
+    def test_default_backend_is_analytic_and_stamped(self, small_nvsa_graph):
+        report = DseEngine(max_pes=1024).explore(small_nvsa_graph)
+        assert report.backend is not None
+        assert report.backend.name == "analytic"
+
+    def test_explicit_analytic_is_byte_identical(self, small_nvsa_graph):
+        import pickle
+
+        default = DseEngine(max_pes=1024).explore(small_nvsa_graph)
+        explicit = DseEngine(
+            max_pes=1024, backend="analytic"
+        ).explore(small_nvsa_graph)
+        assert pickle.dumps(default) == pickle.dumps(explicit)
+
+    def test_schedule_backend_never_prices_below_analytic(
+        self, small_nvsa_graph
+    ):
+        ana = DseEngine(max_pes=1024).explore(small_nvsa_graph)
+        sched = DseEngine(
+            max_pes=1024, backend="schedule"
+        ).explore(small_nvsa_graph)
+        assert sched.backend.name == "schedule"
+        # Pointwise schedule >= analytic implies the swept minima can
+        # only rise once memory traffic is priced in.
+        assert sched.phase1.t_parallel >= ana.phase1.t_parallel
+        assert sched.phase1.t_sequential >= ana.phase1.t_sequential
+        assert sched.config.estimated_cycles >= ana.config.estimated_cycles
+
+    def test_schedule_backend_jobs_equivalence(self, small_nvsa_graph):
+        """Backends ship to pool workers; results stay merge-identical."""
+        serial = DseEngine(
+            max_pes=1024, backend="schedule"
+        ).explore(small_nvsa_graph)
+        parallel = DseEngine(
+            max_pes=1024, backend="schedule", jobs=2, chunk_size=2
+        ).explore(small_nvsa_graph)
+        assert serial.phase1 == parallel.phase1
+        assert serial.config == parallel.config
+        assert serial.pareto == parallel.pareto
+
+    def test_unknown_backend_name_rejected(self):
+        with pytest.raises(DSEError):
+            DseEngine(max_pes=64, backend="rtl")
+
+    def test_backend_instance_accepted(self, small_nvsa_graph):
+        from repro.model.backend import ScheduleBackend
+
+        backend = ScheduleBackend()
+        by_name = DseEngine(
+            max_pes=1024, backend="schedule"
+        ).explore(small_nvsa_graph)
+        by_instance = DseEngine(
+            max_pes=1024, backend=backend
+        ).explore(small_nvsa_graph)
+        assert by_instance.config == by_name.config
+        assert by_instance.backend == by_name.backend

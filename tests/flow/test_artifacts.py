@@ -81,7 +81,7 @@ class TestArtifactStore:
 
     def test_tampered_trace_is_a_miss(self, tmp_path, compiled):
         """In-place edits of an entry's trace fail the fingerprint audit."""
-        from repro.trace.serialize import trace_from_json, trace_to_json
+        from repro.trace.serialize import trace_from_json
 
         store = ArtifactStore(tmp_path)
         key = _key()
@@ -124,3 +124,47 @@ class TestArtifactStore:
         store.store(key, compiled, {})
         assert store.has(key)
         assert store.stats.lookups == 0
+
+
+class TestBackendKeying:
+    """The backend knob is result-affecting: artifacts must never collide."""
+
+    def test_backend_changes_key(self):
+        assert _key(backend="schedule") != _key(backend="analytic")
+        assert _key(backend="analytic") == _key()  # the default
+
+    def test_backend_version_joins_key(self, monkeypatch):
+        """A pricing-semantics bump invalidates that backend's entries."""
+        from repro.model.backend import ScheduleBackend
+
+        base = _key(backend="schedule")
+        monkeypatch.setattr(ScheduleBackend, "version", "99")
+        assert _key(backend="schedule") != base
+        assert _key() == _key(backend="analytic")  # others unaffected
+
+    def test_analytic_and_schedule_entries_never_collide(self, tmp_path):
+        """Storing both backends' artifacts keeps both retrievable, each
+        self-describing about the backend that produced it."""
+        store = ArtifactStore(tmp_path)
+        designs = {}
+        for backend in ("analytic", "schedule"):
+            design = NSFlow(
+                device=U250, max_pes=256, backend=backend
+            ).compile(build_workload("mimonet"))
+            store.store(_key(max_pes=256, backend=backend), design, {})
+            designs[backend] = design
+        assert len(store) == 2
+        for backend in ("analytic", "schedule"):
+            art = store.load(_key(max_pes=256, backend=backend))
+            assert art is not None
+            assert art.report.backend is not None
+            assert art.report.backend.name == backend
+            assert art.report.backend == designs[backend].dse.backend
+
+    def test_backend_roundtrips_through_report_doc(self, tmp_path, compiled):
+        store = ArtifactStore(tmp_path)
+        key = _key()
+        store.store(key, compiled, {})
+        art = store.load(key)
+        assert art.report.backend == compiled.dse.backend
+        assert art.report.backend.name == "analytic"

@@ -76,3 +76,32 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "RTX 2080" in out
         assert "Symbolic runtime" in out
+
+    def test_compile_prints_latency_breakdown(self, capsys):
+        assert main(["compile", "mimonet"]) == 0
+        out = capsys.readouterr().out
+        assert "Cost backend" in out
+        assert "analytic v1" in out
+        assert "Latency breakdown" in out
+        assert "fill/drain" in out
+
+    def test_compile_schedule_backend_breakdown_has_dram(self, capsys):
+        """Acceptance: --backend schedule yields non-zero DRAM/overlap."""
+        assert main(["compile", "mimonet", "--backend", "schedule"]) == 0
+        out = capsys.readouterr().out
+        assert "schedule v1" in out
+        dram_row = next(
+            line for line in out.splitlines()
+            if line.startswith("DRAM traffic")
+        )
+        overlap_row = next(
+            line for line in out.splitlines()
+            if line.startswith("overlap")
+        )
+        assert "| 0 " not in dram_row
+        assert "| -0 " not in overlap_row
+
+    def test_compile_rejects_unknown_backend(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["compile", "mimonet", "--backend", "rtl"])
+        assert "--backend" in capsys.readouterr().err

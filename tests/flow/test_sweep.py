@@ -46,6 +46,15 @@ class TestScenarioSpec:
         assert a == b
         assert a.cache_key() == b.cache_key()
 
+    def test_backend_in_id_and_key(self):
+        ana = ScenarioSpec(workload="prae")
+        sched = ScenarioSpec(workload="prae", backend="schedule")
+        assert ana.scenario_id == "prae@u250/MP"
+        assert sched.scenario_id == "prae@u250/MP/schedule"
+        assert ana.cache_key() != sched.cache_key()
+        with pytest.raises(ConfigError):
+            ScenarioSpec(workload="prae", backend="rtl")
+
 
 class TestScenarioGrid:
     def test_expansion_is_workload_major_and_deterministic(self):
@@ -201,6 +210,29 @@ class TestSweepReports:
         text = sweep_results_table(result)
         assert "ERROR" in text
         assert "Scenario errors:" in text
+
+    def test_backend_axis_sweeps_and_never_collides(self, tmp_path):
+        """One grid, both backends: distinct scenarios, distinct cache
+        entries, each report stamped with its producing backend."""
+        store = ArtifactStore(tmp_path / "cache")
+        grid = ScenarioGrid(
+            workloads=("prae",), max_pes=(256,),
+            backends=("analytic", "schedule"),
+        )
+        result = run_sweep(grid, store=store)
+        assert result.n_errors == 0
+        assert result.n_scenarios == 2
+        assert len(store) == 2
+        by_backend = {o.spec.backend: o for o in result.outcomes}
+        assert by_backend["analytic"].artifacts.report.backend.name == "analytic"
+        assert by_backend["schedule"].artifacts.report.backend.name == "schedule"
+        text = sweep_results_table(result)
+        assert "Backend" in text
+        assert "schedule v1" in text
+        assert "Evaluation backends:" in sweep_summary(result)
+        # A warm re-run is all hits for both backends.
+        warm = run_sweep(grid, store=store)
+        assert warm.n_cached == 2
 
 
 class TestCliSweep:

@@ -1,6 +1,5 @@
 """Unit tests for dataflow-graph statistics (Fig. 4 steps ④-⑤)."""
 
-import pytest
 
 from repro.graph import graph_stats
 from repro.trace.opnode import OpDomain

@@ -7,7 +7,6 @@ from repro.errors import GraphError
 from repro.graph import build_dataflow_graph, fuse_loops
 from repro.nn.gemm import GemmDims
 from repro.trace import ExecutionUnit, OpDomain, Trace, Tracer
-from repro.trace.opnode import TraceOp
 
 
 def _chain_with_fanout() -> Trace:

@@ -1,6 +1,5 @@
 """Unit tests for the ablation/baseline cost helpers."""
 
-import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.model.runtime import (

@@ -1,13 +1,12 @@
 """Cross-module integration tests: the paper's claims, end to end."""
 
 import numpy as np
-import pytest
 
 from repro import NSFlow, build_workload
 from repro.arch import AdArray
 from repro.arch.controller import Controller
 from repro.baselines import baseline_devices
-from repro.dse import ExecutionMode, TwoPhaseDSE, design_config_from_json, design_config_to_json
+from repro.dse import TwoPhaseDSE, design_config_from_json, design_config_to_json
 from repro.graph import build_dataflow_graph
 from repro.model.runtime import monolithic_baseline_runtime
 from repro.dse.phase1 import extract_cost_dims

@@ -2,7 +2,6 @@
 
 import pytest
 
-from repro.datasets import generate_dataset, make_spec
 from repro.errors import ConfigError
 from repro.trace.opnode import ExecutionUnit, OpDomain
 from repro.workloads.lvrf import LvrfConfig, LvrfWorkload

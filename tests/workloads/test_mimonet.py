@@ -5,7 +5,7 @@ import pytest
 
 from repro.datasets import generate_relational_dataset
 from repro.errors import ConfigError
-from repro.trace.opnode import ExecutionUnit, OpDomain
+from repro.trace.opnode import OpDomain
 from repro.workloads.mimonet import MimoNetConfig, MimoNetWorkload
 
 

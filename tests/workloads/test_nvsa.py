@@ -3,7 +3,6 @@
 import numpy as np
 import pytest
 
-from repro.datasets import generate_dataset, make_spec
 from repro.errors import ConfigError
 from repro.quant import MIXED_PRECISION_PRESETS, Precision
 from repro.trace.opnode import ExecutionUnit, OpDomain
