@@ -19,11 +19,13 @@ from .report import (
     sweep_results_table,
     sweep_summary,
 )
+from .ledger import LedgerRecord, RunLedger
 from .sweep import (
     ScenarioGrid,
     ScenarioOutcome,
     ScenarioSpec,
     SweepResult,
+    expand_workload_axis,
     run_sweep,
 )
 
@@ -45,5 +47,8 @@ __all__ = [
     "ScenarioGrid",
     "ScenarioOutcome",
     "SweepResult",
+    "LedgerRecord",
+    "RunLedger",
+    "expand_workload_axis",
     "run_sweep",
 ]

@@ -156,8 +156,10 @@ def build_parser() -> argparse.ArgumentParser:
              "with a persistent compile cache",
     )
     swp.add_argument("--workloads", default=",".join(available_workloads()),
-                     help="comma-separated workload names "
-                          "(default: every registered workload)")
+                     help="comma-separated workload names; entries may be "
+                          "seed-range axes like 'synth:0-99' (one scenario "
+                          "per seed, for workloads with a 'seed' config "
+                          "field). Default: every registered workload")
     swp.add_argument("--devices", default="u250",
                      help="comma-separated device names "
                           f"(available: {', '.join(sorted(_DEVICES))})")
@@ -195,6 +197,15 @@ def build_parser() -> argparse.ArgumentParser:
     swp.add_argument("--no-cache", action="store_true",
                      help="compile every scenario fresh; do not read or "
                           "write the artifact store")
+    swp.add_argument("--ledger", type=pathlib.Path, default=None,
+                     help="run-ledger JSONL path; every scenario outcome is "
+                          "appended and fsynced as it finishes (default: "
+                          "<cache-dir>/sweep-ledger.jsonl; disabled under "
+                          "--no-cache unless given explicitly)")
+    swp.add_argument("--resume", action="store_true",
+                     help="skip scenarios the ledger records as completed "
+                          "and the artifact store still holds; requires the "
+                          "cache (incompatible with --no-cache)")
     return parser
 
 
@@ -329,12 +340,21 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
               file=sys.stderr)
         return 1
     store = None if args.no_cache else ArtifactStore(args.cache_dir)
+    ledger = args.ledger
+    if ledger is None and not args.no_cache:
+        ledger = args.cache_dir / "sweep-ledger.jsonl"
+    if args.resume and store is None:
+        print("error: --resume requires the artifact cache "
+              "(drop --no-cache)", file=sys.stderr)
+        return 1
     total = len(specs)
 
     def progress(outcome) -> None:
         n = progress.count = getattr(progress, "count", 0) + 1
         if not outcome.ok:
             status = "ERROR"
+        elif outcome.resumed:
+            status = "resumed"
         elif outcome.cached:
             status = "cached"
         else:
@@ -349,6 +369,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     result = run_sweep(
         grid, store=store, jobs=args.jobs,
         partition_search=args.partition_search, progress=progress,
+        ledger=ledger, resume=args.resume,
     )
     print()
     print(sweep_results_table(result))
@@ -370,6 +391,8 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
                   "(every scenario was served from the artifact cache)")
     if store is not None:
         print(f"Artifact store: {args.cache_dir} ({len(store)} entries)")
+    if ledger is not None:
+        print(f"Run ledger: {ledger}")
     # Failure isolation keeps the sweep running, but scripts/CI must
     # still see partial failures: any errored scenario fails the exit.
     return 0 if result.n_errors == 0 else 1

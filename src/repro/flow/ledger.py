@@ -1,0 +1,139 @@
+"""Append-only JSONL run ledger for streaming, resumable sweeps.
+
+``run_sweep`` historically accumulated every outcome in memory and only
+the artifact store survived a crash — a killed 500-scenario sweep lost
+the *record* of what had finished (and of what failed, and why). The
+ledger fixes both halves:
+
+* **streaming** — one JSON line is appended (and flushed to disk) the
+  moment each scenario completes, successes and failures alike, so a
+  crash mid-grid preserves every completed row including the failing
+  scenario's exception *and* traceback;
+* **resume** — a re-run with ``resume=True`` reads the ledger, and any
+  scenario whose cache key is recorded as ``ok`` *and* still present in
+  the artifact store is served from the store without re-pricing a
+  single design point.
+
+The format is deliberately dumb: one self-contained JSON object per
+line, append-only, no header. A truncated final line (the crash case)
+is skipped on read; unknown fields are ignored, so old ledgers stay
+readable as the record grows.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import os
+import pathlib
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .sweep import ScenarioOutcome
+
+__all__ = ["LedgerRecord", "RunLedger"]
+
+
+@dataclass(frozen=True)
+class LedgerRecord:
+    """One completed scenario, as written to the run ledger."""
+
+    scenario_id: str
+    key: str
+    status: str                    # "ok" | "error"
+    cached: bool
+    resumed: bool
+    latency_ms: float | None
+    evaluations: int
+    elapsed_s: float
+    error: str | None = None
+    traceback: str | None = None
+
+    @classmethod
+    def from_outcome(cls, outcome: "ScenarioOutcome") -> "LedgerRecord":
+        return cls(
+            scenario_id=outcome.scenario_id,
+            key=outcome.key,
+            status="ok" if outcome.ok else "error",
+            cached=outcome.cached,
+            resumed=outcome.resumed,
+            latency_ms=outcome.latency_ms if outcome.ok else None,
+            evaluations=outcome.evaluations,
+            elapsed_s=outcome.elapsed_s,
+            error=outcome.error,
+            traceback=outcome.traceback,
+        )
+
+    @classmethod
+    def from_doc(cls, doc: dict) -> "LedgerRecord":
+        known = {f.name for f in dataclasses.fields(cls)}
+        return cls(**{k: v for k, v in doc.items() if k in known})
+
+
+class RunLedger:
+    """An append-only JSONL file of :class:`LedgerRecord` lines.
+
+    >>> ledger = RunLedger("build/sweep-ledger.jsonl")   # doctest: +SKIP
+    >>> ledger.append(record)                            # doctest: +SKIP
+    >>> ledger.completed_keys()                          # doctest: +SKIP
+    {'4f1f4c0e...'}
+    """
+
+    def __init__(self, path: str | os.PathLike):
+        self.path = pathlib.Path(path)
+
+    def exists(self) -> bool:
+        return self.path.is_file()
+
+    # -- write -----------------------------------------------------------------
+
+    def append(self, record: LedgerRecord) -> None:
+        """Durably append one record: write, flush, fsync.
+
+        The fsync is the point — the ledger's one job is surviving the
+        sweep process dying at an arbitrary instant.
+        """
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        line = json.dumps(dataclasses.asdict(record), sort_keys=True)
+        with open(self.path, "a", encoding="utf-8") as fh:
+            fh.write(line + "\n")
+            fh.flush()
+            os.fsync(fh.fileno())
+
+    # -- read ------------------------------------------------------------------
+
+    def records(self) -> list[LedgerRecord]:
+        """Every parseable record, in append order.
+
+        Unparseable lines — a line truncated by a crash, manual edits —
+        are skipped rather than fatal: the ledger is a recovery aid, and
+        a skipped line merely re-prices one scenario.
+        """
+        if not self.exists():
+            return []
+        out: list[LedgerRecord] = []
+        for line in self.path.read_text(encoding="utf-8").splitlines():
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                doc = json.loads(line)
+                if not isinstance(doc, dict):
+                    continue
+                out.append(LedgerRecord.from_doc(doc))
+            except (ValueError, TypeError):
+                continue
+        return out
+
+    def completed_keys(self) -> set[str]:
+        """Cache keys of every scenario the ledger records as ``ok``.
+
+        Errored records are deliberately excluded — resuming a sweep
+        retries failures (the crash that interrupted the run may well be
+        what broke them).
+        """
+        return {r.key for r in self.records() if r.status == "ok" and r.key}
+
+    def __len__(self) -> int:
+        return len(self.records())

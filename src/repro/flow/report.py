@@ -210,7 +210,7 @@ def sweep_results_table(result: "SweepResult", title: str | None = None) -> str:
             rows.append([
                 o.scenario_id,
                 "ok",
-                "cache" if o.cached else "fresh",
+                "resume" if o.resumed else ("cache" if o.cached else "fresh"),
                 str(backend) if backend is not None else "-",
                 str(c.geometry),
                 c.mode.value,
@@ -305,10 +305,13 @@ def sweep_summary(result: "SweepResult") -> str:
     near-instant-warm-sweep guarantee, checkable straight from this
     output.
     """
+    resumed = (
+        f" ({result.n_resumed} resumed via ledger)" if result.n_resumed else ""
+    )
     lines = [
         f"Sweep: {result.n_scenarios} scenarios in {result.elapsed_s:.2f} s — "
-        f"{result.n_compiled} compiled, {result.n_cached} cache hits, "
-        f"{result.n_errors} errors",
+        f"{result.n_compiled} compiled, {result.n_cached} cache hits"
+        f"{resumed}, {result.n_errors} errors",
     ]
     if result.store_stats is not None:
         s = result.store_stats

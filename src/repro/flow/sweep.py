@@ -16,6 +16,18 @@ compilations:
   store has already seen, so overlapping or repeated grids only compile
   the delta.
 
+Two scale features ride on that determinism:
+
+* **seed-range axes** — a workload axis entry ``synth:0-99`` expands to
+  one scenario per seed (``seed`` config override), so a single grid
+  sweeps hundreds of generated workloads (see
+  :mod:`repro.workloads.synth`);
+* **streaming + resume** — given a :class:`~repro.flow.ledger.RunLedger`,
+  every outcome (including failures, with their tracebacks) is flushed
+  to a JSONL file as it completes, and ``resume=True`` skips any
+  scenario the ledger records as done and the store still holds — a
+  killed sweep re-prices zero completed scenarios when re-run.
+
 Determinism: scenarios are expanded and executed in declaration order
 (workload-major, then device, precision, loops, iter_max, max_pes), and
 each compilation is bit-identical for any ``jobs`` value (the engine
@@ -25,7 +37,10 @@ guarantee), so a sweep's results are a pure function of its grid.
 from __future__ import annotations
 
 import fnmatch
+import os
+import re
 import time
+import traceback as traceback_module
 from collections.abc import Callable, Sequence
 from dataclasses import dataclass, field
 
@@ -50,6 +65,7 @@ from .artifacts import (
     StoreStats,
     _key_doc,
 )
+from .ledger import LedgerRecord, RunLedger
 from .nsflow import NSFlow
 
 __all__ = [
@@ -57,8 +73,60 @@ __all__ = [
     "ScenarioGrid",
     "ScenarioOutcome",
     "SweepResult",
+    "expand_workload_axis",
     "run_sweep",
 ]
+
+#: Upper bound on one ``name:lo-hi`` axis entry's expansion. Purely a
+#: footgun guard: a typo like ``synth:0-99999999`` should fail fast, not
+#: enumerate forever.
+MAX_SEED_AXIS_SCENARIOS = 10_000
+
+_SEED_AXIS_RE = re.compile(r"^(?P<name>[^:]+):(?P<lo>\d+)(?:-(?P<hi>\d+))?$")
+
+
+def expand_workload_axis(
+    entry: str,
+) -> list[tuple[str, tuple[tuple[str, object], ...]]]:
+    """Expand one workload-axis entry into ``(name, extra_overrides)`` pairs.
+
+    Plain registry names pass through unchanged (no extra overrides).
+    ``name:lo-hi`` (or ``name:seed``) expands to one entry per seed in
+    the inclusive range, each carrying a ``("seed", k)`` config
+    override — the mechanism behind ``--workloads synth:0-99``. Works
+    for any registered workload whose config has a ``seed`` field.
+    """
+    m = _SEED_AXIS_RE.match(entry)
+    if m is None:
+        if ":" in entry:
+            raise ConfigError(
+                f"bad seed-range axis {entry!r}; expected 'name:lo-hi' or "
+                "'name:seed' with non-negative integer seeds"
+            )
+        return [(entry, ())]
+    name = m.group("name").lower()
+    lo = int(m.group("lo"))
+    hi = int(m.group("hi")) if m.group("hi") is not None else lo
+    if hi < lo:
+        raise ConfigError(
+            f"seed-range axis {entry!r} is empty: {hi} < {lo}"
+        )
+    if hi - lo + 1 > MAX_SEED_AXIS_SCENARIOS:
+        raise ConfigError(
+            f"seed-range axis {entry!r} expands to {hi - lo + 1} scenarios "
+            f"(cap: {MAX_SEED_AXIS_SCENARIOS})"
+        )
+    if name not in available_workloads():
+        raise ConfigError(
+            f"unknown workload {name!r} in seed-range axis {entry!r}; "
+            f"available: {', '.join(available_workloads())}"
+        )
+    if not hasattr(workload_config(name), "seed"):
+        raise ConfigError(
+            f"workload {name!r} has no 'seed' config field; "
+            f"seed-range axes need one"
+        )
+    return [(name, (("seed", k),)) for k in range(lo, hi + 1)]
 
 
 @dataclass(frozen=True)
@@ -185,6 +253,11 @@ class ScenarioGrid:
     at least one include pattern (or ``include`` is empty) and no exclude
     pattern. Axis values keep their declaration order — that order *is*
     the sweep's execution order.
+
+    Workload entries may be seed-range axes (``"synth:0-99"``): each one
+    expands to one scenario per seed via :func:`expand_workload_axis`,
+    the seed joining the scenario's config overrides (and therefore its
+    id and cache key).
     """
 
     workloads: tuple[str, ...]
@@ -225,25 +298,29 @@ class ScenarioGrid:
         rather than surfacing as N per-scenario errors mid-sweep.
         """
         specs = []
-        for workload in self.workloads:
-            for device in self.devices:
-                for precision in self.precisions:
-                    for loops in self.loops:
-                        for iter_max in self.iter_maxes:
-                            for pes in self.max_pes:
-                                for backend in self.backends:
-                                    spec = ScenarioSpec(
-                                        workload=workload,
-                                        device=device,
-                                        precision=precision,
-                                        iter_max=iter_max,
-                                        loops=loops,
-                                        max_pes=pes,
-                                        backend=backend,
-                                        overrides=self.overrides,
-                                    )
-                                    if self._selected(spec.scenario_id):
-                                        specs.append(spec)
+        for entry in self.workloads:
+            for workload, extra in expand_workload_axis(entry):
+                merged = dict(self.overrides)
+                merged.update(extra)
+                overrides = tuple(merged.items())
+                for device in self.devices:
+                    for precision in self.precisions:
+                        for loops in self.loops:
+                            for iter_max in self.iter_maxes:
+                                for pes in self.max_pes:
+                                    for backend in self.backends:
+                                        spec = ScenarioSpec(
+                                            workload=workload,
+                                            device=device,
+                                            precision=precision,
+                                            iter_max=iter_max,
+                                            loops=loops,
+                                            max_pes=pes,
+                                            backend=backend,
+                                            overrides=overrides,
+                                        )
+                                        if self._selected(spec.scenario_id):
+                                            specs.append(spec)
         return specs
 
     def __len__(self) -> int:
@@ -252,7 +329,13 @@ class ScenarioGrid:
 
 @dataclass(frozen=True)
 class ScenarioOutcome:
-    """What one scenario produced: artifacts, provenance, or an error."""
+    """What one scenario produced: artifacts, provenance, or an error.
+
+    ``resumed`` marks scenarios skipped via the run ledger (a subset of
+    ``cached``); ``traceback`` carries the full formatted traceback for
+    error outcomes so a failure recorded in the ledger is debuggable
+    after the sweep process is gone.
+    """
 
     spec: ScenarioSpec
     key: str
@@ -261,6 +344,8 @@ class ScenarioOutcome:
     error: str | None
     evaluations: int          # fresh Phase-I model evaluations (0 if cached)
     elapsed_s: float
+    resumed: bool = False
+    traceback: str | None = None
 
     @property
     def ok(self) -> bool:
@@ -301,6 +386,11 @@ class SweepResult:
     @property
     def n_cached(self) -> int:
         return sum(1 for o in self.outcomes if o.cached)
+
+    @property
+    def n_resumed(self) -> int:
+        """Scenarios skipped via the run ledger (subset of ``n_cached``)."""
+        return sum(1 for o in self.outcomes if o.resumed)
 
     @property
     def n_compiled(self) -> int:
@@ -358,6 +448,8 @@ def run_sweep(
     jobs: int = 1,
     partition_search: str = "auto",
     progress: Callable[[ScenarioOutcome], None] | None = None,
+    ledger: RunLedger | str | os.PathLike | None = None,
+    resume: bool = False,
 ) -> SweepResult:
     """Compile every scenario of ``grid``, reusing cached artifacts.
 
@@ -383,16 +475,35 @@ def run_sweep(
     progress:
         Optional callback invoked with each :class:`ScenarioOutcome` as
         it completes (the CLI uses this for live per-scenario lines).
+    ledger:
+        Optional :class:`~repro.flow.ledger.RunLedger` (or a path to
+        one). Every outcome — success or failure, with its traceback —
+        is appended and fsynced as it completes, so an interrupted sweep
+        never loses finished results.
+    resume:
+        Skip scenarios the ledger records as ``ok`` and the store still
+        holds; requires both ``ledger`` and ``store``. Errored ledger
+        entries are retried, and a ledger entry whose store artifact has
+        since vanished is recompiled (the ledger is an index, the store
+        is the truth).
 
     Failure isolation: any exception from one scenario (trace extraction,
-    DSE, backend, artifact I/O) is recorded on its outcome; remaining
-    scenarios still run.
+    DSE, backend, artifact I/O) is recorded on its outcome — message and
+    full traceback — and streamed to the ledger; remaining scenarios
+    still run.
     """
     if partition_search not in PARTITION_SEARCH_MODES:
         raise ConfigError(
             f"partition_search must be one of "
             f"{', '.join(PARTITION_SEARCH_MODES)}, got {partition_search!r}"
         )
+    if ledger is not None and not isinstance(ledger, RunLedger):
+        ledger = RunLedger(ledger)
+    if resume and ledger is None:
+        raise ConfigError("resume=True requires a run ledger")
+    if resume and store is None:
+        raise ConfigError("resume=True requires an artifact store")
+    completed = ledger.completed_keys() if resume else frozenset()
     specs = list(grid.expand() if isinstance(grid, ScenarioGrid) else grid)
     result = SweepResult()
     snapshot = counters_snapshot()
@@ -404,12 +515,14 @@ def run_sweep(
             key = ""
             try:
                 key = spec.cache_key()
+                resumed = key in completed
                 cached = store.load(key) if store is not None else None
                 if cached is not None:
                     outcome = ScenarioOutcome(
                         spec=spec, key=key, cached=True, artifacts=cached,
                         error=None, evaluations=0,
                         elapsed_s=time.perf_counter() - t0,
+                        resumed=resumed,
                     )
                 else:
                     design, artifacts = _compile_scenario(
@@ -428,8 +541,11 @@ def run_sweep(
                     spec=spec, key=key, cached=False, artifacts=None,
                     error=f"{type(exc).__name__}: {exc}", evaluations=0,
                     elapsed_s=time.perf_counter() - t0,
+                    traceback=traceback_module.format_exc(),
                 )
             result.outcomes.append(outcome)
+            if ledger is not None:
+                ledger.append(LedgerRecord.from_outcome(outcome))
             if progress is not None:
                 progress(outcome)
         # Account the counters before the pool closes: DsePool.close()

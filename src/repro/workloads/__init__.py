@@ -23,6 +23,7 @@ from .mimonet import MimoNetConfig, MimoNetWorkload
 from .lvrf import LvrfConfig, LvrfWorkload
 from .prae import PraeConfig, PraeWorkload
 from .scaling import ScalableConfig, ScalableNsaiWorkload
+from .synth import SynthConfig, SynthWorkload
 from .registry import available_workloads, build_workload, workload_config
 
 __all__ = [
@@ -39,6 +40,8 @@ __all__ = [
     "PraeWorkload",
     "ScalableConfig",
     "ScalableNsaiWorkload",
+    "SynthConfig",
+    "SynthWorkload",
     "available_workloads",
     "build_workload",
     "workload_config",

@@ -11,6 +11,7 @@ from .mimonet import MimoNetConfig, MimoNetWorkload
 from .nvsa import NvsaConfig, NvsaWorkload
 from .prae import PraeConfig, PraeWorkload
 from .scaling import ScalableConfig, ScalableNsaiWorkload
+from .synth import SynthConfig, SynthWorkload
 
 __all__ = ["available_workloads", "build_workload", "workload_config"]
 
@@ -22,6 +23,7 @@ _FACTORIES: dict[str, Callable[..., NSAIWorkload]] = {
     "scalable_nsai": lambda **kw: (
         ScalableNsaiWorkload(ScalableConfig(**kw)) if kw else ScalableNsaiWorkload()
     ),
+    "synth": lambda **kw: SynthWorkload(SynthConfig(**kw)) if kw else SynthWorkload(),
 }
 
 #: Config dataclass per registry name. The sweep layer resolves these to
@@ -33,6 +35,7 @@ _CONFIG_TYPES: dict[str, type] = {
     "lvrf": LvrfConfig,
     "prae": PraeConfig,
     "scalable_nsai": ScalableConfig,
+    "synth": SynthConfig,
 }
 
 

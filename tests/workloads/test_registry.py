@@ -34,6 +34,7 @@ class TestRegistry:
             "prae": dict(batch_panels=2, image_size=32, cnn_width=8, cnn_depth=2),
             "scalable_nsai": dict(image_size=32, resnet_width=8,
                                   vector_dim=64, blocks=2, symbolic_ratio=0.2),
+            "synth": dict(n_ops=8, vector_dim=64, blocks=2, gemm_scale=16),
         }
         for name in available_workloads():
             wl = build_workload(name, **small[name])
