@@ -18,6 +18,7 @@ from .phase1 import Phase1Result, run_phase1
 from .phase2 import Phase2Result, run_phase2
 from .engine import (
     PARTITION_SEARCH_MODES,
+    SEARCH_MODES,
     DseEngine,
     DsePool,
     DseReport,
@@ -28,6 +29,11 @@ from .engine import (
     pareto_filter,
 )
 from .explorer import TwoPhaseDSE
+from .multifidelity import (
+    MultiFidelityOutcome,
+    PrunedCandidate,
+    multifidelity_evaluate,
+)
 from .timing import (
     StageStat,
     clear_stage_timings,
@@ -55,6 +61,10 @@ __all__ = [
     "ParetoPoint",
     "pareto_filter",
     "PARTITION_SEARCH_MODES",
+    "SEARCH_MODES",
+    "MultiFidelityOutcome",
+    "PrunedCandidate",
+    "multifidelity_evaluate",
     "StageStat",
     "stage_timings",
     "stage_timings_since",

@@ -71,6 +71,11 @@ from ..quant import MIXED_PRECISION_PRESETS, MixedPrecisionConfig
 from ..trace.opnode import VsaDims
 from ..utils import is_power_of_two, log2_int
 from .config import DesignConfig, ExecutionMode
+from .multifidelity import (
+    SEARCH_MODES,
+    MultiFidelityOutcome,
+    multifidelity_evaluate,
+)
 from .phase1 import Phase1Result, extract_cost_dims
 from .phase2 import Phase2Result, run_phase2
 from .timing import record_stage, time_stage
@@ -89,6 +94,7 @@ __all__ = [
     "DEFAULT_RANGE_H",
     "DEFAULT_RANGE_W",
     "PARTITION_SEARCH_MODES",
+    "SEARCH_MODES",
     "EVALUATION_BACKENDS",
     "AUTO_DENSE_MAX_N",
 ]
@@ -527,6 +533,23 @@ class DseEngine:
         Unlike ``jobs``/``partition_search`` this knob **changes
         results**, so it joins the artifact-cache key and is stamped
         into every report (see DESIGN.md "Evaluation backends").
+    search:
+        Phase I sweep mode — ``"exhaustive"`` (default) prices every
+        candidate with ``backend``; ``"multifidelity"`` screens the
+        candidate stream through the analytic lower bound first and
+        prices only candidates the bound cannot rule out
+        (:mod:`repro.dse.multifidelity`). Like ``partition_search``,
+        reports are **byte-identical across both modes** — the knob
+        only trades wall-clock, so it stays out of the artifact-cache
+        key. Pruned/priced counts accrue to the ``phase1.mf_*`` stages
+        of :mod:`repro.dse.timing`.
+    mf_slack:
+        Safety margin for ``search="multifidelity"``: a candidate is
+        pruned only when the incumbent still dominates its lower bound
+        after being inflated by ``(1 + mf_slack)``. ``0`` (default) is
+        the exact admissible rule; larger values price more
+        near-boundary candidates (pruning is monotone non-increasing in
+        slack) without ever changing results.
     """
 
     def __init__(
@@ -545,6 +568,8 @@ class DseEngine:
         pool: DsePool | None = None,
         partition_search: str = "auto",
         backend: str | EvaluationBackend = "analytic",
+        search: str = "exhaustive",
+        mf_slack: float = 0.0,
     ):
         if not is_power_of_two(max_pes):
             raise DSEError(f"max_pes must be a power of two, got {max_pes}")
@@ -564,6 +589,13 @@ class DseEngine:
                 f"{', '.join(PARTITION_SEARCH_MODES)}, "
                 f"got {partition_search!r}"
             )
+        if search not in SEARCH_MODES:
+            raise DSEError(
+                f"search must be one of {', '.join(SEARCH_MODES)}, "
+                f"got {search!r}"
+            )
+        if mf_slack < 0:
+            raise DSEError(f"mf_slack must be >= 0, got {mf_slack}")
         self.max_pes = max_pes
         self.precision = precision or MIXED_PRECISION_PRESETS["MP"]
         if isinstance(backend, str):
@@ -587,6 +619,8 @@ class DseEngine:
         self.aspect_max = aspect_max
         self.pool = pool
         self.partition_search = partition_search
+        self.search = search
+        self.mf_slack = mf_slack
 
     # -- candidate stream ------------------------------------------------------
 
@@ -687,16 +721,66 @@ class DseEngine:
         )
         return evals
 
+    def _evaluate_multifidelity(
+        self, graph: DataflowGraph
+    ) -> tuple[list[GeometryEval], MultiFidelityOutcome]:
+        """Analytic lower-bound screen, then price only the survivors.
+
+        The returned evals are the exhaustive sweep's scores for exactly
+        the priced candidates (bit for bit); the outcome carries the
+        pruned candidates' lower bounds and logical-evaluation counts so
+        the report's accounting stays byte-identical to exhaustive
+        search. Pricing streams in candidate order in-process — the
+        incumbent frontier is inherently sequential — so ``jobs`` does
+        not fan this path out (the screen itself is one batched pass).
+        """
+        layer_list, vsa_list = extract_cost_dims(graph)
+        layers = tuple(layer_list)
+        vsa_nodes = tuple(vsa_list)
+        candidates = list(self.iter_candidates())
+        if not candidates:
+            raise DSEError(
+                f"no feasible geometry for max_pes={self.max_pes} within "
+                f"H range {self.range_h}, W range {self.range_w}"
+            )
+        t0 = time.perf_counter()
+        outcome = multifidelity_evaluate(
+            candidates, layers, vsa_nodes, self.backend,
+            partition_search=self.partition_search, slack=self.mf_slack,
+        )
+        evals = outcome.evals
+        record_stage(
+            "phase1.sweep", time.perf_counter() - t0, items=len(evals)
+        )
+        record_stage(
+            "phase1.model_probes",
+            items=sum(ev.probes for ev in evals) + outcome.screen_probes,
+        )
+        record_stage(
+            f"phase1.search_{self.partition_search}", items=len(evals)
+        )
+        record_stage("phase1.mf_screened", items=outcome.screened)
+        record_stage("phase1.mf_priced", items=outcome.priced)
+        record_stage("phase1.mf_pruned", items=len(outcome.pruned))
+        return evals, outcome
+
     @staticmethod
-    def _reduce_phase1(evals: Sequence[GeometryEval]) -> Phase1Result:
+    def _reduce_phase1(
+        evals: Sequence[GeometryEval], extra_evaluated: int = 0
+    ) -> Phase1Result:
         """Merge per-geometry winners into the serial sweep's Phase I result.
 
         Strict-``<`` updates in candidate order reproduce the serial
         first-wins semantics exactly (DESIGN.md "Parallel determinism").
+        ``extra_evaluated`` accounts the logical design points of
+        candidates the multi-fidelity screen pruned without pricing, so
+        ``candidates_evaluated`` stays byte-identical across search
+        modes (pruned candidates can never be either winner — that is
+        the pruning rule's admissibility guarantee).
         """
         best_para: GeometryEval | None = None
         best_seq: GeometryEval | None = None
-        evaluated = 0
+        evaluated = extra_evaluated
         for ev in sorted(evals, key=lambda e: e.index):
             evaluated += ev.evaluated
             if best_seq is None or ev.t_sequential < best_seq.t_sequential:
@@ -718,7 +802,18 @@ class DseEngine:
             candidates_evaluated=evaluated,
         )
 
-    def _frontier(self, evals: Sequence[GeometryEval]) -> ParetoFrontier:
+    def _frontier(
+        self, evals: Sequence[GeometryEval], extra_dominated: int = 0
+    ) -> ParetoFrontier:
+        """Assemble the frontier; ``extra_dominated`` counts pruned candidates.
+
+        A candidate the multi-fidelity screen pruned is *provably*
+        dominated, and dominated points never change which other points
+        survive :func:`pareto_filter` — so the frontier's point set is
+        unchanged and the pruned candidates only join the ``dominated``
+        (and ``geometries_evaluated``) accounting, keeping the report
+        byte-identical to exhaustive search.
+        """
         points = []
         for ev in evals:
             cycles = ev.best_cycles
@@ -740,9 +835,9 @@ class DseEngine:
             frontier = frontier[: self.pareto_k]
         return ParetoFrontier(
             points=tuple(frontier),
-            geometries_evaluated=len(evals),
+            geometries_evaluated=len(evals) + extra_dominated,
             non_dominated=non_dominated,
-            dominated=len(points) - non_dominated,
+            dominated=len(points) - non_dominated + extra_dominated,
         )
 
     # -- full exploration ------------------------------------------------------
@@ -755,8 +850,13 @@ class DseEngine:
         advantage, so deciding the mode before refinement would be biased
         toward sequential (DESIGN.md "Interpretation notes").
         """
-        evals = self.evaluate(graph)
-        phase1 = self._reduce_phase1(evals)
+        if self.search == "multifidelity":
+            evals, mf = self._evaluate_multifidelity(graph)
+        else:
+            evals, mf = self.evaluate(graph), None
+        phase1 = self._reduce_phase1(
+            evals, extra_evaluated=mf.pruned_evaluated if mf else 0
+        )
         t0 = time.perf_counter()
         phase2 = run_phase2(graph, phase1, self.iter_max, backend=self.backend)
         record_stage(
@@ -814,7 +914,9 @@ class DseEngine:
             },
         )
         with time_stage("pareto.filter", items=len(evals)):
-            pareto = self._frontier(evals)
+            pareto = self._frontier(
+                evals, extra_dominated=len(mf.pruned) if mf else 0
+            )
         return DseReport(
             config=config,
             phase1=phase1,

@@ -1,0 +1,286 @@
+"""Multi-fidelity Phase I: analytic lower-bound screening before pricing.
+
+The PR 4 backend seam proved (and fuzz-tests) one invariant: the
+memory-aware ``schedule`` backend can only *add* time over the compute-only
+``analytic`` model — ``t_schedule >= t_analytic`` pointwise, for both the
+sequential fallback and every static partition. That is exactly an
+*admissible lower bound*, so Phase I does not have to pay schedule-backend
+cost for every geometry: screen the whole candidate stream analytically in
+one batched pass, then price candidates through the expensive backend one
+at a time — cheapest-looking first — while an incumbent (latency, area,
+energy) frontier of the points already priced proves later candidates
+dominated from their lower bounds alone.
+
+Pricing visits candidates in ascending analytic lower-bound *energy*
+(``lb_cycles × area``, ties by candidate index): the low-energy geometries
+are the strongest dominators, so the incumbent frontier forms before the
+expensive large-``N`` candidates come up for pricing — those are exactly
+the candidates whose ``O(N)`` schedule scan costs the most and whose
+bounds are most often dominated. The visiting order only affects *cost*;
+every candidate is judged by the same sound rule, so results do not
+depend on it.
+
+A candidate ``c`` is pruned only when all three hold:
+
+1. some priced incumbent's objective vector strictly dominates ``c``'s
+   lower-bound vector ``(lb_cycles, area, lb_cycles * area)`` — since the
+   true cycles can only be larger and the area proxy is a pure function
+   of the geometry, the true point is then strictly dominated too and can
+   never enter :func:`repro.dse.engine.pareto_filter`'s output (dominated
+   points also never affect which *other* points survive the filter);
+2. the incumbent minimum ``t_parallel`` is below ``c``'s lower bound — or
+   equal to it with a smaller candidate index, which under the engine's
+   strict-``<`` first-wins reduction means ``c`` can never become the
+   Phase I parallel winner;
+3. symmetrically for ``t_sequential``.
+
+Together these guarantee the *whole* :class:`~repro.dse.engine.DseReport`
+— Phase I winners, Phase II refinement seeded from them, the frontier,
+and every counter — is byte-identical to exhaustive search; the logical
+``evaluated`` count of a pruned candidate is a pure function of its
+geometry, so the report's accounting needs no pricing either.
+
+``slack`` makes pruning *more conservative*, never less: a candidate is
+pruned only when the incumbent still dominates after being inflated by
+``(1 + slack)``. ``slack=0`` is the exact rule above; larger slack keeps
+near-boundary candidates priced (headroom for the Phase II refinement
+loop, which descends below the Phase I static split by up to its observed
+gain), and the pruned set shrinks monotonically as slack grows. All
+comparisons are integer arithmetic in parts-per-million, so the rule is
+exact for arbitrarily large cycle counts — no float rounding at the
+domination boundary.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+from ..errors import DSEError
+from ..model.backend import AnalyticBackend, EvaluationBackend
+from ..nn.gemm import GemmDims
+from ..trace.opnode import VsaDims
+
+__all__ = [
+    "SEARCH_MODES",
+    "MF_SLACK_SCALE",
+    "PrunedCandidate",
+    "MultiFidelityOutcome",
+    "multifidelity_evaluate",
+    "slack_ppm",
+]
+
+#: Search-mode names threaded through engine/NSFlow/sweep/CLI. Like
+#: ``partition_search`` this knob is result-preserving — reports are
+#: byte-identical across modes — so it never joins the artifact-cache key.
+SEARCH_MODES: tuple[str, ...] = ("exhaustive", "multifidelity")
+
+#: Slack comparisons run in integer parts-per-million of the incumbent.
+MF_SLACK_SCALE = 1_000_000
+
+
+def slack_ppm(slack: float) -> int:
+    """A slack fraction as integer parts-per-million (exact comparisons)."""
+    if slack < 0:
+        raise DSEError(f"mf_slack must be >= 0, got {slack}")
+    return round(slack * MF_SLACK_SCALE)
+
+
+def _leq_with_margin(incumbent: int, bound: int, ppm: int) -> bool:
+    """``incumbent * (1 + slack) <= bound``, in exact integer arithmetic."""
+    return incumbent * (MF_SLACK_SCALE + ppm) <= bound * MF_SLACK_SCALE
+
+
+def _dominates_with_margin(
+    incumbent: tuple[int, int, int], bound: tuple[int, int, int], ppm: int
+) -> bool:
+    """Strict Pareto domination of a lower-bound vector, with slack margin.
+
+    Implies plain domination for every ``ppm >= 0``; the margin only makes
+    the test harder to pass (monotone pruning in slack).
+    """
+    return (
+        all(_leq_with_margin(q, b, ppm) for q, b in zip(incumbent, bound))
+        and incumbent != bound
+    )
+
+
+class _RunningMin:
+    """Minimum of priced values plus the first candidate index attaining it.
+
+    Candidates are priced out of enumeration order, so the strict-``<``
+    first-wins tie-break of the Phase I reduction must be reproduced
+    explicitly: a candidate may only be ruled out by an *equal* incumbent
+    value when that value belongs to a smaller candidate index.
+    """
+
+    __slots__ = ("value", "index")
+
+    def __init__(self) -> None:
+        self.value: int | None = None
+        self.index: int = -1
+
+    def update(self, value: int, index: int) -> None:
+        if self.value is None or value < self.value:
+            self.value, self.index = value, index
+        elif value == self.value and index < self.index:
+            self.index = index
+
+    def rules_out(self, bound: int, candidate_index: int, ppm: int) -> bool:
+        """No candidate with this lower ``bound`` can win the reduction."""
+        if self.value is None or not _leq_with_margin(self.value, bound, ppm):
+            return False
+        return self.value < bound or self.index < candidate_index
+
+
+@dataclass(frozen=True)
+class PrunedCandidate:
+    """A candidate proven dominated from its analytic lower bound alone.
+
+    ``lb_sequential``/``lb_parallel`` are the screen's (analytic) cycle
+    bounds; ``evaluated`` is the logical design-point count the exhaustive
+    sweep would have attributed to this geometry — a pure function of the
+    geometry, kept here so report counters stay byte-identical without
+    pricing.
+    """
+
+    index: int
+    h: int
+    w: int
+    n_sub: int
+    lb_sequential: int
+    lb_parallel: int
+    evaluated: int
+
+
+@dataclass(frozen=True)
+class MultiFidelityOutcome:
+    """What one multi-fidelity Phase I screen produced.
+
+    ``evals`` holds the expensively-priced geometries in candidate order —
+    exactly the exhaustive sweep's scores for those candidates; ``pruned``
+    the candidates skipped, with their lower bounds. ``screen_probes`` is
+    the analytic design-point count the screen itself paid.
+    """
+
+    evals: list            # list[repro.dse.engine.GeometryEval]
+    pruned: tuple[PrunedCandidate, ...]
+    screen_probes: int
+    slack: float
+
+    @property
+    def screened(self) -> int:
+        return len(self.evals) + len(self.pruned)
+
+    @property
+    def priced(self) -> int:
+        return len(self.evals)
+
+    @property
+    def priced_probes(self) -> int:
+        """Design points the expensive backend actually paid for."""
+        return sum(ev.probes for ev in self.evals)
+
+    @property
+    def pruned_evaluated(self) -> int:
+        """Logical design points covered by pruned candidates."""
+        return sum(p.evaluated for p in self.pruned)
+
+    @property
+    def pruned_indices(self) -> tuple[int, ...]:
+        return tuple(sorted(p.index for p in self.pruned))
+
+
+def multifidelity_evaluate(
+    candidates: Sequence,
+    layers: tuple[GemmDims, ...],
+    vsa_nodes: tuple[VsaDims, ...],
+    backend: EvaluationBackend,
+    *,
+    partition_search: str = "auto",
+    slack: float = 0.0,
+    screen_backend: EvaluationBackend | None = None,
+) -> MultiFidelityOutcome:
+    """Screen ``candidates`` analytically; price only the survivors.
+
+    ``candidates`` is the engine's :class:`~repro.dse.engine.GeometryCandidate`
+    stream in enumeration order. The screen runs the (cheap, batched)
+    analytic backend over the whole stream once; the expensive ``backend``
+    then prices survivors in ascending lower-bound energy order against
+    the growing incumbent state. Returned evals are sorted by candidate
+    index and bit-identical to the exhaustive sweep's scores for the same
+    candidates; the pricing order is a pure function of the screen, so it
+    never depends on ``slack`` or on earlier pruning decisions.
+    """
+    # Imported here: engine imports this module at load time.
+    from .engine import GeometryEval, area_pe_equiv
+
+    ppm = slack_ppm(slack)
+    screen_backend = screen_backend or AnalyticBackend()
+    lb_scores = screen_backend.score_geometries(
+        [(c.h, c.w, c.n_sub) for c in candidates], layers, vsa_nodes,
+        partition_search,
+    )
+    areas = [area_pe_equiv(c.h, c.w, c.n_sub) for c in candidates]
+    lb_best = [
+        min(s.t_sequential, s.t_parallel) for s in lb_scores
+    ]
+    order = sorted(
+        range(len(candidates)),
+        key=lambda i: (lb_best[i] * areas[i], candidates[i].index),
+    )
+
+    evals: list[GeometryEval] = []
+    pruned: list[PrunedCandidate] = []
+    # Non-dominated objective vectors of the priced candidates so far.
+    incumbents: list[tuple[int, int, int]] = []
+    min_t_par = _RunningMin()
+    min_t_seq = _RunningMin()
+
+    for i in order:
+        cand, lb, area = candidates[i], lb_scores[i], areas[i]
+        lb_point = (lb_best[i], area, lb_best[i] * area)
+        prunable = (
+            min_t_par.rules_out(lb.t_parallel, cand.index, ppm)
+            and min_t_seq.rules_out(lb.t_sequential, cand.index, ppm)
+            and any(
+                _dominates_with_margin(q, lb_point, ppm) for q in incumbents
+            )
+        )
+        if prunable:
+            pruned.append(PrunedCandidate(
+                index=cand.index, h=cand.h, w=cand.w, n_sub=cand.n_sub,
+                lb_sequential=lb.t_sequential, lb_parallel=lb.t_parallel,
+                evaluated=cand.n_sub if vsa_nodes else 1,
+            ))
+            continue
+        score = backend.score_geometry(
+            cand.h, cand.w, cand.n_sub, layers, vsa_nodes, partition_search
+        )
+        ev = GeometryEval(
+            index=cand.index, h=cand.h, w=cand.w, n_sub=cand.n_sub,
+            t_sequential=score.t_sequential, t_parallel=score.t_parallel,
+            nl_bar=score.nl_bar, nv_bar=score.nv_bar,
+            evaluated=score.evaluated, probes=score.probes,
+        )
+        evals.append(ev)
+        min_t_par.update(ev.t_parallel, ev.index)
+        min_t_seq.update(ev.t_sequential, ev.index)
+        point = (ev.best_cycles, area, ev.best_cycles * area)
+        # Keep the incumbent set non-dominated: anything the new point
+        # dominates can never out-prune it (domination is transitive).
+        if not any(_dominates_with_margin(q, point, 0) or q == point
+                   for q in incumbents):
+            incumbents = [
+                q for q in incumbents
+                if not _dominates_with_margin(point, q, 0)
+            ]
+            incumbents.append(point)
+
+    evals.sort(key=lambda ev: ev.index)
+    return MultiFidelityOutcome(
+        evals=evals,
+        pruned=tuple(sorted(pruned, key=lambda p: p.index)),
+        screen_probes=sum(s.probes for s in lb_scores),
+        slack=slack,
+    )

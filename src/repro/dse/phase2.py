@@ -109,13 +109,20 @@ def run_phase2(
         nv[j_lo:j_hi] = old_span
         return cost
 
+    # `current` tracks t_para() of the live (nl, nv) state across the
+    # whole descent: the state only changes when a move is applied, and
+    # the applied move's probe cost *is* the new steady-state runtime
+    # (t_para is a pure function of the vectors). Re-pricing at every
+    # layer visit would cost one extra full evaluation per (iteration,
+    # layer) — pure waste under an expensive backend's pricer — for the
+    # same values, so results are bit-identical either way.
+    current = best_t
     for _ in range(iter_max):
         iterations += 1
         changed = False
         for i in range(len(layers)):
             # Greedy descent: apply the better of the two one-step moves
             # when it strictly improves the steady-state runtime.
-            current = t_para()
             moves = [(try_move(i, d), d) for d in (-1, +1)]
             feasible = [(c, d) for c, d in moves if c is not None and c < current]
             if not feasible:
@@ -126,6 +133,7 @@ def run_phase2(
             for j in range(j_lo, j_hi):
                 nv[j] -= direction
             changed = True
+            current = cost
             if cost < best_t:
                 best_t = cost
                 best_nl, best_nv = list(nl), list(nv)

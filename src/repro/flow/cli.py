@@ -47,6 +47,19 @@ DSE flags
     so it is part of the sweep cache key and is recorded in every
     report. ``compile`` prints the backend's latency breakdown
     (compute / fill-drain / DRAM / overlap) after the summary.
+``--search {exhaustive,multifidelity}``
+    Phase I strategy. ``exhaustive`` (default) prices every candidate
+    geometry with the chosen backend; ``multifidelity`` screens the
+    stream through the analytic lower bound first and prices only
+    candidates not already Pareto-dominated (see
+    :mod:`repro.dse.multifidelity`). **Results are byte-identical** —
+    the knob only trades wall-clock, so it never joins the sweep cache
+    key (``sweep`` takes it as a comma-separated grid axis).
+``--mf-slack F``
+    Multi-fidelity pruning slack: prune a candidate only when the
+    incumbent still dominates its lower bound after inflation by
+    ``(1 + F)``. ``0`` (default) is the exact rule; larger values price
+    more near-boundary candidates. Result-preserving at any value.
 ``--timings``
     Print the DSE stage-timing table (Phase I sweep seconds, model
     probes paid, Phase II refinement, Pareto filtering) after the run —
@@ -98,7 +111,11 @@ from .report import (
 )
 from .sweep import ScenarioGrid, run_sweep
 from ..dse.config import design_config_to_json
-from ..dse.engine import EVALUATION_BACKENDS, PARTITION_SEARCH_MODES
+from ..dse.engine import (
+    EVALUATION_BACKENDS,
+    PARTITION_SEARCH_MODES,
+    SEARCH_MODES,
+)
 from ..dse.timing import stage_timings_since, timings_snapshot
 
 __all__ = ["main", "build_parser"]
@@ -138,6 +155,17 @@ def build_parser() -> argparse.ArgumentParser:
                       help="evaluation cost model: 'analytic' (Eqs. 1-5, "
                            "compute-only) or 'schedule' (memory-aware "
                            "event-driven timeline); result-affecting")
+    comp.add_argument("--search", choices=SEARCH_MODES, default="exhaustive",
+                      help="Phase I strategy: 'exhaustive' prices every "
+                           "candidate; 'multifidelity' screens through the "
+                           "analytic lower bound and prices only candidates "
+                           "not already Pareto-dominated (byte-identical "
+                           "results)")
+    comp.add_argument("--mf-slack", type=float, default=0.0, dest="mf_slack",
+                      help="multi-fidelity pruning slack: prune only when "
+                           "the incumbent dominates after inflation by "
+                           "(1 + F); 0 = exact rule (result-preserving at "
+                           "any value)")
     comp.add_argument("--timings", action="store_true",
                       help="print the DSE stage-timing table after the run")
     comp.add_argument("--out", type=pathlib.Path, default=None,
@@ -188,6 +216,14 @@ def build_parser() -> argparse.ArgumentParser:
                      help="comma-separated evaluation backends as a grid "
                           f"axis (available: {', '.join(EVALUATION_BACKENDS)}"
                           "); result-affecting, part of the cache key")
+    swp.add_argument("--search", default="exhaustive", dest="searches",
+                     help="comma-separated Phase I strategies as a grid "
+                          f"axis (available: {', '.join(SEARCH_MODES)}); "
+                          "result-preserving, excluded from the cache key")
+    swp.add_argument("--mf-slack", type=float, default=0.0, dest="mf_slack",
+                     help="multi-fidelity pruning slack for every "
+                          "multifidelity scenario (0 = exact rule; "
+                          "result-preserving at any value)")
     swp.add_argument("--timings", action="store_true",
                      help="print the full DSE stage-timing table after "
                           "the sweep summary")
@@ -252,6 +288,8 @@ def _cmd_compile(args: argparse.Namespace) -> int:
         pareto_k=args.pareto_k,
         partition_search=args.partition_search,
         backend=args.backend,
+        search=args.search,
+        mf_slack=args.mf_slack,
     )
     snapshot = timings_snapshot()
     design = nsf.compile(workload, n_loops=args.loops)
@@ -331,6 +369,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         loops=loops,
         iter_maxes=(args.iter_max,),
         backends=tuple(b.lower() for b in _split_csv(args.backends)),
+        searches=tuple(s.lower() for s in _split_csv(args.searches)),
         include=tuple(args.include),
         exclude=tuple(args.exclude),
     )
@@ -368,8 +407,8 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
 
     result = run_sweep(
         grid, store=store, jobs=args.jobs,
-        partition_search=args.partition_search, progress=progress,
-        ledger=ledger, resume=args.resume,
+        partition_search=args.partition_search, mf_slack=args.mf_slack,
+        progress=progress, ledger=ledger, resume=args.resume,
     )
     print()
     print(sweep_results_table(result))

@@ -89,6 +89,8 @@ class NSFlow:
         pool: DsePool | None = None,
         partition_search: str = "auto",
         backend: str | EvaluationBackend = "analytic",
+        search: str = "exhaustive",
+        mf_slack: float = 0.0,
     ):
         self.device = device
         self.precision = precision or MIXED_PRECISION_PRESETS["MP"]
@@ -102,6 +104,8 @@ class NSFlow:
         self.pool = pool
         self.partition_search = partition_search
         self.backend = backend
+        self.search = search
+        self.mf_slack = mf_slack
         if self.max_pes < 4:
             raise ConfigError(f"device {device.name} supports too few PEs")
 
@@ -130,6 +134,8 @@ class NSFlow:
             pool=self.pool,
             partition_search=self.partition_search,
             backend=self.backend,
+            search=self.search,
+            mf_slack=self.mf_slack,
         )
         report = dse.explore(graph)
         config = report.config

@@ -345,6 +345,15 @@ def sweep_summary(result: "SweepResult") -> str:
             f"({sweep_stage.items:,} geometries, {probed:,} model probes), "
             f"phase2 {phase2_s:.3f} s"
         )
+    screened = result.stage_timings.get("phase1.mf_screened")
+    if screened is not None:
+        priced = result.stage_timings.get("phase1.mf_priced")
+        pruned = result.stage_timings.get("phase1.mf_pruned")
+        lines.append(
+            f"Multi-fidelity pruning: {screened.items:,} candidates "
+            f"screened, {priced.items if priced else 0:,} priced, "
+            f"{pruned.items if pruned else 0:,} pruned"
+        )
     return "\n".join(lines)
 
 

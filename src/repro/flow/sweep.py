@@ -50,6 +50,7 @@ from ..dse.engine import (
     DEFAULT_RANGE_H,
     DEFAULT_RANGE_W,
     PARTITION_SEARCH_MODES,
+    SEARCH_MODES,
     DsePool,
 )
 from ..dse.timing import StageStat, stage_timings_since, timings_snapshot
@@ -137,7 +138,12 @@ class ScenarioSpec:
     ``M``); ``overrides`` are workload-config overrides as a sorted
     tuple of ``(field, value)`` pairs so specs stay hashable.
     ``backend`` picks the evaluation cost model — result-affecting, so
-    it is part of the scenario's identity and cache key.
+    it is part of the scenario's identity and cache key. ``search`` picks
+    the Phase I strategy (``exhaustive`` or ``multifidelity``) — it joins
+    the scenario id (as ``/mf``) so both modes can coexist in one grid,
+    but **not** the cache key: multi-fidelity search is proven
+    byte-identical to exhaustive, so either mode may serve the other's
+    cached artifacts.
     """
 
     workload: str
@@ -147,6 +153,7 @@ class ScenarioSpec:
     loops: int = 1
     max_pes: int | None = None
     backend: str = "analytic"
+    search: str = "exhaustive"
     overrides: tuple[tuple[str, object], ...] = ()
 
     def __post_init__(self) -> None:
@@ -174,6 +181,11 @@ class ScenarioSpec:
                 f"unknown backend {self.backend!r}; "
                 f"available: {', '.join(EVALUATION_BACKENDS)}"
             )
+        if self.search not in SEARCH_MODES:
+            raise ConfigError(
+                f"unknown search mode {self.search!r}; "
+                f"available: {', '.join(SEARCH_MODES)}"
+            )
         object.__setattr__(
             self, "overrides", tuple(sorted(tuple(self.overrides)))
         )
@@ -190,6 +202,8 @@ class ScenarioSpec:
             sid += f"/pes{self.max_pes}"
         if self.backend != "analytic":
             sid += f"/{self.backend}"
+        if self.search != "exhaustive":
+            sid += "/mf"
         if self.overrides:
             sid += "/" + ",".join(f"{k}={v}" for k, v in self.overrides)
         return sid
@@ -226,6 +240,9 @@ class ScenarioSpec:
             range_h=DEFAULT_RANGE_H,
             range_w=DEFAULT_RANGE_W,
             backend=self.backend,
+            # `search` deliberately absent: like `partition_search` and
+            # `jobs`, it is result-preserving (byte-identical reports),
+            # so both modes share one cache entry.
         )
 
     def cache_key(self) -> str:
@@ -267,6 +284,7 @@ class ScenarioGrid:
     iter_maxes: tuple[int, ...] = (8,)
     max_pes: tuple[int | None, ...] = (None,)
     backends: tuple[str, ...] = ("analytic",)
+    searches: tuple[str, ...] = ("exhaustive",)
     overrides: tuple[tuple[str, object], ...] = ()
     include: tuple[str, ...] = ()
     exclude: tuple[str, ...] = ()
@@ -274,12 +292,12 @@ class ScenarioGrid:
     def __post_init__(self) -> None:
         for name in (
             "workloads", "devices", "precisions", "loops", "iter_maxes",
-            "max_pes", "backends", "include", "exclude",
+            "max_pes", "backends", "searches", "include", "exclude",
         ):
             object.__setattr__(self, name, _as_tuple(getattr(self, name)))
         object.__setattr__(self, "overrides", tuple(self.overrides))
         for axis in ("workloads", "devices", "precisions", "loops", "iter_maxes",
-                     "max_pes", "backends"):
+                     "max_pes", "backends", "searches"):
             if not getattr(self, axis):
                 raise ConfigError(f"grid axis {axis!r} must be non-empty")
 
@@ -309,18 +327,20 @@ class ScenarioGrid:
                             for iter_max in self.iter_maxes:
                                 for pes in self.max_pes:
                                     for backend in self.backends:
-                                        spec = ScenarioSpec(
-                                            workload=workload,
-                                            device=device,
-                                            precision=precision,
-                                            iter_max=iter_max,
-                                            loops=loops,
-                                            max_pes=pes,
-                                            backend=backend,
-                                            overrides=overrides,
-                                        )
-                                        if self._selected(spec.scenario_id):
-                                            specs.append(spec)
+                                        for search in self.searches:
+                                            spec = ScenarioSpec(
+                                                workload=workload,
+                                                device=device,
+                                                precision=precision,
+                                                iter_max=iter_max,
+                                                loops=loops,
+                                                max_pes=pes,
+                                                backend=backend,
+                                                search=search,
+                                                overrides=overrides,
+                                            )
+                                            if self._selected(spec.scenario_id):
+                                                specs.append(spec)
         return specs
 
     def __len__(self) -> int:
@@ -413,7 +433,8 @@ class SweepResult:
 
 
 def _compile_scenario(
-    spec: ScenarioSpec, pool: DsePool, partition_search: str = "auto"
+    spec: ScenarioSpec, pool: DsePool, partition_search: str = "auto",
+    mf_slack: float = 0.0,
 ) -> tuple:
     """Run the full toolchain for one scenario on the shared pool."""
     from .nsflow import CompiledDesign  # noqa: F401  (documentation anchor)
@@ -428,6 +449,8 @@ def _compile_scenario(
         pareto_k=None,   # always keep the full frontier; render-time truncation
         partition_search=partition_search,
         backend=spec.backend,
+        search=spec.search,
+        mf_slack=mf_slack,
     )
     design = nsf.compile(workload, n_loops=spec.loops)
     artifacts = ScenarioArtifacts(
@@ -447,6 +470,7 @@ def run_sweep(
     store: ArtifactStore | None = None,
     jobs: int = 1,
     partition_search: str = "auto",
+    mf_slack: float = 0.0,
     progress: Callable[[ScenarioOutcome], None] | None = None,
     ledger: RunLedger | str | os.PathLike | None = None,
     resume: bool = False,
@@ -472,6 +496,11 @@ def run_sweep(
         ``bisect``, ``dense``). Like ``jobs``, this is **not** part of
         the scenario cache key: every strategy produces bit-identical
         artifacts, so cached results are valid across strategies.
+    mf_slack:
+        Pruning slack for scenarios whose ``search`` is
+        ``multifidelity`` (see :mod:`repro.dse.multifidelity`); ignored
+        by exhaustive scenarios. Result-preserving at any value, so —
+        like ``partition_search`` — not part of the cache key.
     progress:
         Optional callback invoked with each :class:`ScenarioOutcome` as
         it completes (the CLI uses this for live per-scenario lines).
@@ -525,8 +554,16 @@ def run_sweep(
                         resumed=resumed,
                     )
                 else:
+                    # The ledger may claim this key is done (`resumed`
+                    # above) while the store no longer holds it — the
+                    # ledger is an index, the store is the truth. This
+                    # scenario is being compiled, so restate its status:
+                    # anything else would count it as resumed in the
+                    # summary tally while the elapsed time and fresh
+                    # evaluations say otherwise.
+                    resumed = False
                     design, artifacts = _compile_scenario(
-                        spec, pool, partition_search
+                        spec, pool, partition_search, mf_slack
                     )
                     if store is not None:
                         store.store(key, design, spec.key_doc())
@@ -535,6 +572,7 @@ def run_sweep(
                         error=None,
                         evaluations=design.dse.phase1.candidates_evaluated,
                         elapsed_s=time.perf_counter() - t0,
+                        resumed=resumed,
                     )
             except Exception as exc:   # noqa: BLE001 - isolation is the point
                 outcome = ScenarioOutcome(

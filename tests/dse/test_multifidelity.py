@@ -1,0 +1,273 @@
+"""Property-based equivalence: multi-fidelity search vs exhaustive.
+
+The multi-fidelity pruner's whole contract is *byte-identical results for
+less pricing* (see :mod:`repro.dse.multifidelity`). This suite proves it
+the strong way, over hypothesis-generated workloads and design spaces:
+
+* the **entire** :class:`~repro.dse.engine.DseReport` — Phase I winners,
+  Phase II refinement, the Pareto frontier, and every counter — pickles
+  to the same bytes as exhaustive search, for both backends, any PE
+  budget, and any slack;
+* every pruned candidate was *truly* dominated: pricing it with the real
+  backend after the fact yields a point strictly dominated by a priced
+  incumbent, and one that could never have won the Phase I first-wins
+  reduction;
+* pruning is monotone in slack — a larger slack never prunes a candidate
+  a smaller slack kept;
+* the accounting identities hold: screened = priced + pruned, and the
+  pruned candidates' logical evaluation counts close the gap to the
+  exhaustive sweep's ``candidates_evaluated``.
+
+The tier-1 classes run a quick pass; the ``slow``-marked class re-runs
+the core properties across hundreds of generated workloads for CI's deep
+job.
+"""
+
+import pickle
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.dse.engine import DseEngine, area_pe_equiv
+from repro.dse.multifidelity import multifidelity_evaluate, slack_ppm
+from repro.dse.phase1 import extract_cost_dims
+from repro.errors import DSEError
+from repro.graph.build import build_dataflow_graph
+from repro.model.backend import AnalyticBackend, ScheduleBackend
+from repro.workloads import build_workload
+from repro.workloads.synth import SynthConfig, SynthWorkload
+
+#: Small generated DAGs: the equivalence properties are scale-free, and
+#: each example pays two full DSE runs (exhaustive + multi-fidelity).
+synth_configs = st.builds(
+    SynthConfig,
+    seed=st.integers(0, 100_000),
+    n_ops=st.integers(3, 12),
+    depth=st.integers(1, 5),
+    fanout=st.integers(1, 3),
+    neural_fraction=st.floats(0.0, 1.0),
+    vector_dim=st.sampled_from([16, 64, 256]),
+    blocks=st.integers(1, 3),
+    max_vectors=st.integers(1, 8),
+    gemm_scale=st.sampled_from([4, 16, 64]),
+    symbolic_ratio=st.floats(0.0, 0.8),
+)
+
+pe_budgets = st.sampled_from([64, 256, 1024])
+backends = st.sampled_from(["analytic", "schedule"])
+slacks = st.sampled_from([0.0, 0.02, 0.25, 1.0])
+
+_QUICK = settings(max_examples=25, deadline=None,
+                  suppress_health_check=[HealthCheck.too_slow])
+_DEEP = settings(max_examples=200, deadline=None,
+                 suppress_health_check=[HealthCheck.too_slow])
+
+
+def graph_for(config: SynthConfig):
+    return build_dataflow_graph(SynthWorkload(config).build_trace())
+
+
+def explore(graph, max_pes, backend, search="exhaustive", slack=0.0):
+    engine = DseEngine(max_pes=max_pes, backend=backend, search=search,
+                       mf_slack=slack)
+    return engine.explore(graph)
+
+
+def screen(graph, max_pes, backend_name, slack=0.0):
+    """Run the pruner directly; returns (candidates, outcome, backend)."""
+    engine = DseEngine(max_pes=max_pes, backend=backend_name)
+    layers, vsa = extract_cost_dims(graph)
+    candidates = list(engine.iter_candidates())
+    outcome = multifidelity_evaluate(
+        candidates, tuple(layers), tuple(vsa), engine.backend, slack=slack,
+    )
+    return candidates, outcome, engine.backend, (tuple(layers), tuple(vsa))
+
+
+def assert_byte_identical(config, max_pes, backend, slack=0.0):
+    graph = graph_for(config)
+    exhaustive = explore(graph, max_pes, backend)
+    mf = explore(graph, max_pes, backend, search="multifidelity", slack=slack)
+    assert pickle.dumps(exhaustive) == pickle.dumps(mf)
+
+
+class TestEquivalenceQuick:
+    """Tier-1: byte-identical reports on generated design spaces."""
+
+    @given(synth_configs, pe_budgets, backends)
+    @_QUICK
+    def test_full_report_byte_identical(self, config, max_pes, backend):
+        assert_byte_identical(config, max_pes, backend)
+
+    @given(synth_configs, slacks)
+    @_QUICK
+    def test_identical_at_any_slack(self, config, slack):
+        """Slack changes how much is pruned, never what is reported."""
+        assert_byte_identical(config, 256, "schedule", slack=slack)
+
+    @given(st.sampled_from([0, 3, 9]))
+    @settings(max_examples=3, deadline=None)
+    def test_no_vsa_degenerate_workload(self, seed):
+        """All-neural DAGs (no VSA nodes, trivial Phase II) stay identical."""
+        config = SynthConfig(seed=seed, n_ops=6, depth=3,
+                             neural_fraction=1.0, symbolic_ratio=0.0)
+        assert_byte_identical(config, 256, "schedule")
+
+    @pytest.mark.parametrize("workload", ["prae", "nvsa", "mimonet"])
+    @pytest.mark.parametrize("backend", ["analytic", "schedule"])
+    def test_registry_workloads_identical(self, workload, backend):
+        graph = build_dataflow_graph(build_workload(workload).build_trace())
+        exhaustive = explore(graph, 4096, backend)
+        mf = explore(graph, 4096, backend, search="multifidelity")
+        assert pickle.dumps(exhaustive) == pickle.dumps(mf)
+
+
+class TestPrunedTrulyDominated:
+    """Pruned candidates, priced after the fact, really were dominated."""
+
+    @given(synth_configs, pe_budgets, backends)
+    @_QUICK
+    def test_pruned_candidates_truly_dominated(self, config, max_pes, backend):
+        graph = graph_for(config)
+        candidates, outcome, priced_backend, (layers, vsa) = screen(
+            graph, max_pes, backend,
+        )
+        by_index = {ev.index: ev for ev in outcome.evals}
+        min_t_par = min((ev.t_parallel, ev.index) for ev in outcome.evals)
+        min_t_seq = min((ev.t_sequential, ev.index) for ev in outcome.evals)
+        points = [
+            (ev.best_cycles, area_pe_equiv(ev.h, ev.w, ev.n_sub),
+             ev.best_cycles * area_pe_equiv(ev.h, ev.w, ev.n_sub))
+            for ev in outcome.evals
+        ]
+        for p in outcome.pruned:
+            assert p.index not in by_index
+            # Price the pruned candidate with the *real* backend: its
+            # true point must be strictly dominated by a priced one.
+            score = priced_backend.score_geometry(
+                p.h, p.w, p.n_sub, layers, vsa,
+            )
+            area = area_pe_equiv(p.h, p.w, p.n_sub)
+            best = min(score.t_sequential, score.t_parallel)
+            true_point = (best, area, best * area)
+            assert any(
+                all(q[i] <= true_point[i] for i in range(3))
+                and q != true_point
+                for q in points
+            )
+            # ... and it could never have won the first-wins Phase I
+            # reduction for either mode (strictly worse, or tied with a
+            # smaller index already holding the win).
+            assert (min_t_par[0], min_t_par[1]) < (score.t_parallel, p.index)
+            assert (min_t_seq[0], min_t_seq[1]) < (score.t_sequential, p.index)
+
+    @given(synth_configs)
+    @_QUICK
+    def test_counter_identities(self, config):
+        graph = graph_for(config)
+        candidates, outcome, _, _ = screen(graph, 256, "schedule")
+        assert outcome.screened == len(candidates)
+        assert outcome.priced + len(outcome.pruned) == outcome.screened
+        exhaustive = explore(graph, 256, "schedule")
+        priced_evaluated = sum(ev.evaluated for ev in outcome.evals)
+        assert (priced_evaluated + outcome.pruned_evaluated
+                == exhaustive.phase1.candidates_evaluated)
+
+
+class TestSlackSemantics:
+    """Slack only shrinks the pruned set, monotonically."""
+
+    @given(synth_configs, backends)
+    @_QUICK
+    def test_pruning_monotone_in_slack(self, config, backend):
+        graph = graph_for(config)
+        pruned_sets = []
+        for slack in (0.0, 0.02, 0.25, 1.0):
+            _, outcome, _, _ = screen(graph, 256, backend, slack=slack)
+            pruned_sets.append(set(outcome.pruned_indices))
+        for smaller, larger in zip(pruned_sets[1:], pruned_sets):
+            assert smaller <= larger
+
+    def test_negative_slack_rejected(self):
+        with pytest.raises(DSEError):
+            slack_ppm(-0.1)
+        with pytest.raises(DSEError):
+            DseEngine(search="multifidelity", mf_slack=-1e-9)
+
+    def test_unknown_search_mode_rejected(self):
+        with pytest.raises(DSEError):
+            DseEngine(search="genetic")
+
+    def test_screen_is_the_analytic_backend(self):
+        """The default screen is analytic — the proven lower bound."""
+        graph = graph_for(SynthConfig(seed=5, n_ops=8, depth=3))
+        _, default_outcome, _, dims = screen(graph, 256, "schedule")
+        engine = DseEngine(max_pes=256, backend="schedule")
+        explicit = multifidelity_evaluate(
+            list(engine.iter_candidates()), dims[0], dims[1], engine.backend,
+            screen_backend=AnalyticBackend(),
+        )
+        assert pickle.dumps(default_outcome) == pickle.dumps(explicit)
+
+    def test_self_screen_prunes_nothing_unsound(self):
+        """Screening with the priced backend itself (exact bounds) still
+        yields byte-identical evals — the degenerate multi-fidelity case."""
+        graph = graph_for(SynthConfig(seed=5, n_ops=8, depth=3))
+        engine = DseEngine(max_pes=256, backend="schedule")
+        layers, vsa = extract_cost_dims(graph)
+        candidates = list(engine.iter_candidates())
+        outcome = multifidelity_evaluate(
+            candidates, tuple(layers), tuple(vsa), engine.backend,
+            screen_backend=ScheduleBackend(),
+        )
+        exhaustive = explore(graph, 256, "schedule")
+        priced_evaluated = sum(ev.evaluated for ev in outcome.evals)
+        assert (priced_evaluated + outcome.pruned_evaluated
+                == exhaustive.phase1.candidates_evaluated)
+
+
+@pytest.mark.slow
+class TestEquivalenceDeep:
+    """CI deep job: the core properties across 200+ generated workloads."""
+
+    @given(synth_configs, pe_budgets, backends, slacks)
+    @_DEEP
+    def test_byte_identity_across_the_grid(self, config, max_pes, backend,
+                                           slack):
+        assert_byte_identical(config, max_pes, backend, slack=slack)
+
+    @given(synth_configs, backends)
+    @_DEEP
+    def test_pruned_domination_deep(self, config, backend):
+        graph = graph_for(config)
+        _, outcome, priced_backend, (layers, vsa) = screen(
+            graph, 1024, backend,
+        )
+        points = [
+            (ev.best_cycles, area_pe_equiv(ev.h, ev.w, ev.n_sub),
+             ev.best_cycles * area_pe_equiv(ev.h, ev.w, ev.n_sub))
+            for ev in outcome.evals
+        ]
+        for p in outcome.pruned:
+            score = priced_backend.score_geometry(
+                p.h, p.w, p.n_sub, layers, vsa,
+            )
+            area = area_pe_equiv(p.h, p.w, p.n_sub)
+            best = min(score.t_sequential, score.t_parallel)
+            true_point = (best, area, best * area)
+            assert any(
+                all(q[i] <= true_point[i] for i in range(3))
+                and q != true_point
+                for q in points
+            )
+
+    @given(synth_configs)
+    @_DEEP
+    def test_slack_monotone_deep(self, config):
+        graph = graph_for(config)
+        pruned_sets = []
+        for slack in (0.0, 0.1, 0.5, 2.0):
+            _, outcome, _, _ = screen(graph, 256, "schedule", slack=slack)
+            pruned_sets.append(set(outcome.pruned_indices))
+        for smaller, larger in zip(pruned_sets[1:], pruned_sets):
+            assert smaller <= larger

@@ -22,6 +22,7 @@ The tier-1 class runs a quick pass; the ``slow``-marked class fuzzes
 import pytest
 from hypothesis import HealthCheck, given, settings, strategies as st
 
+from repro.dse.engine import DseEngine
 from repro.dse.phase1 import extract_cost_dims
 from repro.graph.build import build_dataflow_graph
 from repro.model.backend import AnalyticBackend, ScheduleBackend
@@ -139,3 +140,65 @@ class TestDifferentialDeep:
             assert _SCHEDULE.parallel_cycles(h, w, nl, nv, layers, vsa) >= (
                 _ANALYTIC.parallel_cycles(h, w, nl, nv, layers, vsa)
             )
+
+
+def assert_screen_batches_admissible(config: SynthConfig,
+                                     max_pes: int) -> None:
+    """Schedule dominates analytic on the pruner's exact screen batch.
+
+    The multi-fidelity pruner (:mod:`repro.dse.multifidelity`) screens the
+    engine's whole candidate stream through one batched
+    ``AnalyticBackend.score_geometries`` call and treats the result as an
+    admissible lower bound on the schedule backend — both per-mode cycle
+    counts, for every candidate in the batch. This is that exact call
+    shape, not a per-geometry loop.
+    """
+    layers, vsa = workload_dims(config)
+    engine = DseEngine(max_pes=max_pes)
+    geoms = [(c.h, c.w, c.n_sub) for c in engine.iter_candidates()]
+    assert geoms, "screen batch must be non-empty"
+    lbs = _ANALYTIC.score_geometries(geoms, layers, vsa, "auto")
+    expensive = _SCHEDULE.score_geometries(geoms, layers, vsa, "auto")
+    for geom, lb, truth in zip(geoms, lbs, expensive):
+        assert truth.t_sequential >= lb.t_sequential, geom
+        assert truth.t_parallel >= lb.t_parallel, geom
+
+
+class TestLowerBoundAdmissibility:
+    """The pruner's load-bearing invariant, on its exact batch shapes."""
+
+    @given(synth_configs, st.sampled_from([64, 256, 1024]))
+    @settings(max_examples=30, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    def test_screen_batches_admissible(self, config, max_pes):
+        assert_screen_batches_admissible(config, max_pes)
+
+    @pytest.mark.parametrize("config", [
+        # Degenerate minimal DAGs: two ops, one level — all-neural (no
+        # VSA nodes at all) and all-symbolic (a single layer, the rest
+        # VSA), the edge cases where partition sweeps collapse.
+        SynthConfig(seed=0, n_ops=2, depth=1, neural_fraction=1.0,
+                    symbolic_ratio=0.0),
+        SynthConfig(seed=0, n_ops=2, depth=1, neural_fraction=0.0,
+                    symbolic_ratio=0.8),
+        # Max-fanout stars: one level fanning as wide as the generator
+        # allows, both balanced and symbolic-heavy.
+        SynthConfig(seed=3, n_ops=12, depth=1, fanout=12),
+        SynthConfig(seed=7, n_ops=12, depth=1, fanout=12,
+                    neural_fraction=0.1, symbolic_ratio=0.8),
+    ], ids=["single-level-neural", "single-level-symbolic",
+            "max-fanout", "max-fanout-symbolic"])
+    def test_degenerate_dags_admissible(self, config):
+        for max_pes in (64, 256, 4096):
+            assert_screen_batches_admissible(config, max_pes)
+
+
+@pytest.mark.slow
+class TestLowerBoundAdmissibilityDeep:
+    """CI deep job: the screen-batch invariant across 200+ workloads."""
+
+    @given(synth_configs, st.sampled_from([64, 256, 1024, 4096]))
+    @settings(max_examples=200, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    def test_screen_batches_admissible_deep(self, config, max_pes):
+        assert_screen_batches_admissible(config, max_pes)
