@@ -88,6 +88,11 @@ __all__ = [
     "DseReport",
     "DseEngine",
     "DsePool",
+    "SweepExecutor",
+    "SerialExecutor",
+    "ProcessExecutor",
+    "EXECUTOR_BACKENDS",
+    "make_executor",
     "pareto_filter",
     "area_pe_equiv",
     "DEFAULT_CLOCK_MHZ",
@@ -126,6 +131,77 @@ def _auto_chunksize(n_items: int, jobs: int) -> int:
 _ANALYTIC_BACKEND = AnalyticBackend()
 
 
+class SweepExecutor:
+    """The execution seam under :class:`DsePool`: ``map`` + ``close``.
+
+    ``DsePool`` owns the jobs budget and the cache lifecycle; *where*
+    the work actually runs is this seam. The in-tree backends are
+    :class:`SerialExecutor` (in-process) and :class:`ProcessExecutor`
+    (a lazy ``concurrent.futures`` process pool); a multi-host backend
+    — shipping chunks to remote workers over the run-ledger/artifact
+    substrate — slots in by registering another factory in
+    :data:`EXECUTOR_BACKENDS`. The engine's merge is keyed on candidate
+    index, so any executor that applies ``fn`` to every item and
+    preserves order is result-identical by construction.
+    """
+
+    def map(self, fn, items: Sequence, chunksize: int) -> list:
+        raise NotImplementedError
+
+    def close(self) -> None:
+        """Release executor resources; further ``map`` calls are invalid."""
+
+
+class SerialExecutor(SweepExecutor):
+    """In-process, no-spawn execution — the ``jobs == 1`` path."""
+
+    def map(self, fn, items: Sequence, chunksize: int) -> list:
+        return [fn(item) for item in items]
+
+
+class ProcessExecutor(SweepExecutor):
+    """A lazily created ``ProcessPoolExecutor`` worker fleet."""
+
+    def __init__(self, jobs: int):
+        if jobs < 1:
+            raise DSEError(f"jobs must be >= 1, got {jobs}")
+        self.jobs = jobs
+        self._executor: ProcessPoolExecutor | None = None
+
+    def map(self, fn, items: Sequence, chunksize: int) -> list:
+        if self._executor is None:
+            self._executor = ProcessPoolExecutor(max_workers=self.jobs)
+        return list(self._executor.map(fn, items, chunksize=chunksize))
+
+    def close(self) -> None:
+        if self._executor is not None:
+            self._executor.shutdown()
+            self._executor = None
+
+
+#: Executor-backend registry: name → factory taking the jobs budget.
+#: ``serial`` ignores the budget (always in-process); ``process`` spawns
+#: up to ``jobs`` workers lazily. Future multi-host backends register
+#: here so ``DsePool(executor="...")`` — and anything built on it —
+#: can target them without code changes.
+EXECUTOR_BACKENDS: dict[str, "type[SweepExecutor] | object"] = {
+    "serial": lambda jobs: SerialExecutor(),
+    "process": lambda jobs: ProcessExecutor(jobs),
+}
+
+
+def make_executor(name: str, jobs: int) -> SweepExecutor:
+    """Instantiate a registered executor backend for a jobs budget."""
+    try:
+        factory = EXECUTOR_BACKENDS[name]
+    except KeyError:
+        raise DSEError(
+            f"unknown executor {name!r}; "
+            f"available: {', '.join(sorted(EXECUTOR_BACKENDS))}"
+        ) from None
+    return factory(jobs)
+
+
 class DsePool:
     """A reusable jobs budget: one process pool shared across explorations.
 
@@ -141,9 +217,14 @@ class DsePool:
     ...         DseEngine(pool=pool).explore(graph)
 
     ``jobs == 1`` never spawns processes — :meth:`map` runs in-process —
-    and the executor is created lazily on the first parallel ``map``.
-    Sharing a pool cannot change results: the engine's merge is keyed on
-    candidate index (see DESIGN.md "Parallel determinism").
+    and the process fleet is created lazily on the first parallel
+    ``map``. Sharing a pool cannot change results: the engine's merge is
+    keyed on candidate index (see DESIGN.md "Parallel determinism").
+
+    Where the work runs is delegated to the :class:`SweepExecutor` seam:
+    by default ``serial`` for ``jobs == 1`` and ``process`` otherwise,
+    overridable with ``executor=`` (a registry name or an instance) so a
+    multi-host backend can slot in under every existing caller.
 
     Closing the pool also clears the process-lifetime model caches
     (:func:`repro.model.cache.clear_model_caches`) by default: the
@@ -153,20 +234,30 @@ class DsePool:
     ``clear_caches_on_close=False`` to keep them warm.
     """
 
-    def __init__(self, jobs: int = 1, clear_caches_on_close: bool = True):
+    def __init__(
+        self,
+        jobs: int = 1,
+        clear_caches_on_close: bool = True,
+        executor: str | SweepExecutor | None = None,
+    ):
         if jobs < 1:
             raise DSEError(f"jobs must be >= 1, got {jobs}")
         self.jobs = jobs
         self.clear_caches_on_close = clear_caches_on_close
-        self._executor: ProcessPoolExecutor | None = None
+        if executor is None:
+            executor = "serial" if jobs == 1 else "process"
+        self._executor: SweepExecutor = (
+            make_executor(executor, jobs) if isinstance(executor, str)
+            else executor
+        )
         self._closed = False
 
     def map(self, fn, items: Sequence, chunksize: int | None = None) -> list:
-        """Apply ``fn`` over ``items``, in-process or on the worker fleet.
+        """Apply ``fn`` over ``items`` on the pool's executor backend.
 
-        ``chunksize`` is forwarded to ``ProcessPoolExecutor.map`` so a
-        long ``items`` stream is shipped in batches instead of paying
-        one IPC round-trip per work unit; ``None`` picks
+        ``chunksize`` is forwarded to the executor so a long ``items``
+        stream is shipped in batches instead of paying one IPC
+        round-trip per work unit; ``None`` picks
         ``⌈len(items) / (4 · jobs)⌉`` — at most four batches per worker,
         enough slack for load balancing without per-item overhead.
         """
@@ -174,13 +265,9 @@ class DsePool:
             raise DSEError("DsePool is closed")
         if chunksize is not None and chunksize < 1:
             raise DSEError(f"chunksize must be >= 1, got {chunksize}")
-        if self.jobs == 1:
-            return [fn(item) for item in items]
         if chunksize is None:
             chunksize = _auto_chunksize(len(items), self.jobs)
-        if self._executor is None:
-            self._executor = ProcessPoolExecutor(max_workers=self.jobs)
-        return list(self._executor.map(fn, items, chunksize=chunksize))
+        return self._executor.map(fn, items, chunksize=chunksize)
 
     def close(self) -> None:
         """Shut the worker fleet down; subsequent ``map`` calls raise.
@@ -189,9 +276,7 @@ class DsePool:
         ``clear_caches_on_close=False``) — callers that need the counter
         totals of a run must snapshot them *before* closing.
         """
-        if self._executor is not None:
-            self._executor.shutdown()
-            self._executor = None
+        self._executor.close()
         if not self._closed and self.clear_caches_on_close:
             clear_model_caches()
         self._closed = True

@@ -46,3 +46,13 @@ class ScheduleError(NSFlowError):
 
 class ResourceError(NSFlowError):
     """A design does not fit the target FPGA's resource budget."""
+
+
+class MergeConflictError(NSFlowError):
+    """Shard ledgers/stores disagree about one scenario's artifacts.
+
+    Compilation is deterministic, so the same cache key recorded ``ok``
+    with two different artifact digests means a corrupted store, a
+    version-skewed worker, or a broken cache key — merging must stop,
+    not silently pick a side.
+    """

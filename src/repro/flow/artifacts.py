@@ -44,15 +44,18 @@ next store.
 
 from __future__ import annotations
 
+import hashlib
 import json
 import os
 import pathlib
 import shutil
 import tempfile
+from collections.abc import Sequence
 from dataclasses import dataclass
 from typing import TYPE_CHECKING
 
 from ..arch.resources import FpgaDevice, ResourceEstimate
+from ..errors import MergeConflictError
 from ..dse.config import (
     DesignConfig,
     ExecutionMode,
@@ -85,6 +88,8 @@ __all__ = [
     "StoreStats",
     "ScenarioArtifacts",
     "ArtifactStore",
+    "FoldStats",
+    "fold_stores",
     "scenario_cache_key",
 ]
 
@@ -321,6 +326,36 @@ class ArtifactStore:
         """Entry-existence probe; does not validate or touch counters."""
         return (self.path_for(key) / self._REPORT).is_file()
 
+    def keys(self) -> list[str]:
+        """Every entry key present on disk, sorted."""
+        if not self.root.is_dir():
+            return []
+        return sorted(
+            p.parent.name for p in self.root.glob(f"??/*/{self._REPORT}")
+        )
+
+    def entry_digest(self, key: str) -> str | None:
+        """Content digest of an entry's artifact files, or ``None`` if absent.
+
+        Hashes the bytes of ``trace.json``, ``design_config.json``, and
+        ``report.json`` (``meta.json`` is derivable from the key and
+        excluded). Deterministic compilation makes this digest a pure
+        function of the cache key, which is exactly what distributed
+        merges exploit: the same key with two different digests is a
+        conflict, never a legitimate outcome.
+        """
+        path = self.path_for(key)
+        h = hashlib.sha256()
+        for name in (self._TRACE, self._CONFIG, self._REPORT):
+            f = path / name
+            if not f.is_file():
+                return None
+            data = f.read_bytes()
+            h.update(name.encode("utf-8"))
+            h.update(len(data).to_bytes(8, "big"))
+            h.update(data)
+        return h.hexdigest()[:32]
+
     def __len__(self) -> int:
         if not self.root.is_dir():
             return 0
@@ -396,3 +431,87 @@ class ArtifactStore:
     @property
     def stats(self) -> StoreStats:
         return StoreStats(hits=self.hits, misses=self.misses, stores=self.stores)
+
+
+@dataclass(frozen=True)
+class FoldStats:
+    """Accounting of one :func:`fold_stores` pass."""
+
+    copied: int
+    duplicates: int              # same key, same digest — skipped
+    missing: tuple[str, ...]     # expected keys absent from every source
+
+
+def fold_stores(
+    sources: Sequence[ArtifactStore | str | os.PathLike],
+    dest: ArtifactStore | str | os.PathLike,
+    *,
+    expected: dict[str, str | None] | None = None,
+) -> FoldStats:
+    """Fold N shard artifact stores into one destination store.
+
+    Every entry of every source is copied into ``dest`` (tmp-dir +
+    rename, same crash-tolerance as :meth:`ArtifactStore.store`). A key
+    present in several sources — or already in ``dest`` — must carry an
+    identical content digest; a mismatch raises
+    :class:`~repro.errors.MergeConflictError`, because deterministic
+    compilation forbids two legitimate artifact sets for one key.
+
+    ``expected`` optionally maps keys to the digests the merged *ledger*
+    recorded: folded entries are verified against it (a recorded digest
+    that differs from the store's bytes is a conflict), and keys whose
+    entry is absent from every source are counted in ``missing`` — the
+    merged ledger then overstates the store, exactly the
+    "ledger is an index, the store is the truth" caveat resume has.
+    """
+    src_stores = [
+        s if isinstance(s, ArtifactStore) else ArtifactStore(s)
+        for s in sources
+    ]
+    dest_store = dest if isinstance(dest, ArtifactStore) else ArtifactStore(dest)
+    copied = duplicates = 0
+    seen: dict[str, str] = {}
+    for store in src_stores:
+        for key in store.keys():
+            digest = store.entry_digest(key)
+            if digest is None:
+                continue
+            if expected is not None and key in expected \
+                    and expected[key] is not None and expected[key] != digest:
+                raise MergeConflictError(
+                    f"store {store.root} entry {key} digest {digest} does "
+                    f"not match the merged ledger's {expected[key]}"
+                )
+            prior = seen.get(key) or dest_store.entry_digest(key)
+            if prior is not None:
+                if prior != digest:
+                    raise MergeConflictError(
+                        f"artifact stores disagree for key {key}: "
+                        f"{prior} vs {digest} ({store.root})"
+                    )
+                duplicates += 1
+                continue
+            src = store.path_for(key)
+            final = dest_store.path_for(key)
+            final.parent.mkdir(parents=True, exist_ok=True)
+            tmp = pathlib.Path(tempfile.mkdtemp(
+                prefix=f".tmp-{key[:8]}-", dir=final.parent
+            ))
+            try:
+                for item in sorted(src.iterdir()):
+                    shutil.copy2(item, tmp / item.name)
+                if final.exists():
+                    shutil.rmtree(final)
+                os.replace(tmp, final)
+            except Exception:
+                shutil.rmtree(tmp, ignore_errors=True)
+                raise
+            seen[key] = digest
+            copied += 1
+    missing: tuple[str, ...] = ()
+    if expected is not None:
+        present = set(seen) | {
+            k for k in expected if dest_store.entry_digest(k) is not None
+        }
+        missing = tuple(sorted(k for k in expected if k not in present))
+    return FoldStats(copied=copied, duplicates=duplicates, missing=missing)

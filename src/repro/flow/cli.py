@@ -87,7 +87,9 @@ DESIGN.md "Pareto frontier semantics").
 from __future__ import annotations
 
 import argparse
+import os
 import pathlib
+import socket
 import sys
 
 from ..arch.resources import FPGA_DEVICES
@@ -98,18 +100,21 @@ from ..quant import MIXED_PRECISION_PRESETS
 from ..trace.serialize import trace_to_json
 from ..utils import MB
 from ..workloads import available_workloads, build_workload
-from .artifacts import ArtifactStore
+from .artifacts import ArtifactStore, fold_stores
+from .ledger import RunLedger, merge_ledgers
 from .nsflow import NSFlow
 from .report import (
     format_table,
     latency_breakdown_table,
+    merge_summary_table,
     pareto_frontier_table,
+    shard_progress_table,
     stage_timings_table,
     sweep_comparison_table,
     sweep_results_table,
     sweep_summary,
 )
-from .sweep import ScenarioGrid, run_sweep
+from .sweep import DEFAULT_LEASE_TIMEOUT_S, ScenarioGrid, run_sweep
 from ..dse.config import design_config_to_json
 from ..dse.engine import (
     EVALUATION_BACKENDS,
@@ -242,6 +247,43 @@ def build_parser() -> argparse.ArgumentParser:
                      help="skip scenarios the ledger records as completed "
                           "and the artifact store still holds; requires the "
                           "cache (incompatible with --no-cache)")
+    swp.add_argument("--shard", default=None, metavar="I/N",
+                     help="run only slice i of N of the grid (1-based), "
+                          "partitioned by a stable scenario-id hash: any "
+                          "worker computes the same disjoint, covering, "
+                          "order-independent slices. Enables the ledger "
+                          "claim protocol")
+    swp.add_argument("--worker-id", default=None, dest="worker_id",
+                     help="worker id for ledger claim records (default: "
+                          "<hostname>-<pid> when --shard is given). Giving "
+                          "one without --shard runs the claim protocol over "
+                          "the whole grid — several workers can share one "
+                          "ledger and dynamically split the work")
+    swp.add_argument("--lease-timeout", type=float,
+                     default=DEFAULT_LEASE_TIMEOUT_S, dest="lease_timeout",
+                     help="seconds a claimed scenario's heartbeat may go "
+                          "stale before other workers treat its owner as "
+                          "crashed and re-issue the work (default: "
+                          f"{DEFAULT_LEASE_TIMEOUT_S:.0f})")
+
+    mrg = sub.add_parser(
+        "merge-ledgers",
+        help="fold N shard ledgers (+ artifact stores) into one canonical "
+             "ledger, report, and store",
+    )
+    mrg.add_argument("ledgers", nargs="+", type=pathlib.Path,
+                     help="shard ledger JSONL files to merge")
+    mrg.add_argument("--stores", default="",
+                     help="comma-separated artifact-store directories to "
+                          "fold into <out>/store (entries are verified "
+                          "against the merged ledger's digests)")
+    mrg.add_argument("--out", type=pathlib.Path, required=True,
+                     help="output directory: merged-ledger.jsonl, "
+                          "merged-report.json, and (with --stores) store/")
+    mrg.add_argument("--require-complete", action="store_true",
+                     help="fail if any merged scenario's artifact entry is "
+                          "missing from every given store, or claims are "
+                          "still open (crashed work not yet re-issued)")
     return parser
 
 
@@ -388,19 +430,30 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         return 1
     total = len(specs)
 
+    worker = args.worker_id
+    if worker is None and args.shard is not None:
+        worker = f"{socket.gethostname()}-{os.getpid()}"
+
     def progress(outcome) -> None:
         n = progress.count = getattr(progress, "count", 0) + 1
-        if not outcome.ok:
+        if outcome.deferred:
+            status = "deferred"
+        elif not outcome.ok:
             status = "ERROR"
         elif outcome.resumed:
             status = "resumed"
         elif outcome.cached:
             status = "cached"
+        elif outcome.reissued:
+            status = "reissued"
         else:
             status = "compiled"
-        tail = (
-            f"{outcome.latency_ms:10.3f} ms" if outcome.ok else outcome.error
-        )
+        if outcome.ok:
+            tail = f"{outcome.latency_ms:10.3f} ms"
+        elif outcome.deferred:
+            tail = f"claimed by {outcome.holder or 'another worker'}"
+        else:
+            tail = outcome.error
         print(f"[{n:>{len(str(total))}}/{total}] "
               f"{outcome.scenario_id:<32} {status:<9} "
               f"{outcome.elapsed_s:6.2f}s  {tail}")
@@ -409,6 +462,8 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         grid, store=store, jobs=args.jobs,
         partition_search=args.partition_search, mf_slack=args.mf_slack,
         progress=progress, ledger=ledger, resume=args.resume,
+        shard=args.shard, worker=worker,
+        lease_timeout_s=args.lease_timeout,
     )
     print()
     print(sweep_results_table(result))
@@ -417,6 +472,12 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         print(sweep_comparison_table(result))
     print()
     print(sweep_summary(result))
+    if worker is not None and ledger is not None:
+        print()
+        print(shard_progress_table(
+            RunLedger(ledger).entries(),
+            title=f"Shard progress ({ledger})",
+        ))
     if args.timings:
         print()
         if result.stage_timings:
@@ -437,6 +498,69 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     return 0 if result.n_errors == 0 else 1
 
 
+def _cmd_merge_ledgers(args: argparse.Namespace) -> int:
+    missing = [p for p in args.ledgers if not p.exists()]
+    if missing:
+        print("error: ledger not found: "
+              + ", ".join(str(p) for p in missing), file=sys.stderr)
+        return 1
+    merged = merge_ledgers([RunLedger(path) for path in args.ledgers])
+
+    args.out.mkdir(parents=True, exist_ok=True)
+    ledger_out = args.out / "merged-ledger.jsonl"
+    report_out = args.out / "merged-report.json"
+    ledger_out.write_text(merged.canonical_ledger_text())
+    report_out.write_text(merged.report_text())
+
+    print(merge_summary_table(
+        merged, title=f"Merged {len(args.ledgers)} ledger(s)"))
+
+    store_dirs = _split_csv(args.stores)
+    fold = None
+    if store_dirs:
+        expected = {
+            row.key: row.artifact_digest
+            for row in merged.rows
+            if row.status == "ok" and row.artifact_digest
+        }
+        fold = fold_stores(
+            [ArtifactStore(pathlib.Path(d)) for d in store_dirs],
+            ArtifactStore(args.out / "store"),
+            expected=expected,
+        )
+        print(f"Artifact store: {args.out / 'store'} "
+              f"({fold.copied} copied, {fold.duplicates} duplicates"
+              + (f", {len(fold.missing)} missing" if fold.missing else "")
+              + ")")
+
+    print(f"Canonical ledger: {ledger_out}")
+    print(f"Merged report:    {report_out}")
+
+    if merged.double_priced:
+        sid_by_key = {row.key: row.scenario_id for row in merged.rows}
+        print("error: scenarios freshly priced by more than one worker: "
+              + ", ".join(sid_by_key.get(k, k) for k in merged.double_priced),
+              file=sys.stderr)
+        return 1
+    if args.require_complete:
+        problems = []
+        if merged.open_claims:
+            problems.append(
+                f"{len(merged.open_claims)} claim(s) still open: "
+                + ", ".join(sorted(c.scenario_id for c in merged.open_claims))
+            )
+        if fold is not None and fold.missing:
+            problems.append(
+                f"{len(fold.missing)} artifact entr(y/ies) missing from "
+                "every store: " + ", ".join(sorted(fold.missing))
+            )
+        if problems:
+            for problem in problems:
+                print(f"error: {problem}", file=sys.stderr)
+            return 1
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns a process exit code."""
     args = build_parser().parse_args(argv)
@@ -449,6 +573,8 @@ def main(argv: list[str] | None = None) -> int:
             return _cmd_compile(args)
         if args.command == "sweep":
             return _cmd_sweep(args)
+        if args.command == "merge-ledgers":
+            return _cmd_merge_ledgers(args)
     except NSFlowError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 1

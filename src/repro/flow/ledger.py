@@ -1,23 +1,47 @@
-"""Append-only JSONL run ledger for streaming, resumable sweeps.
+"""Append-only JSONL run ledger: streaming resume *and* multi-worker
+coordination.
 
 ``run_sweep`` historically accumulated every outcome in memory and only
 the artifact store survived a crash — a killed 500-scenario sweep lost
 the *record* of what had finished (and of what failed, and why). The
 ledger fixes both halves:
 
-* **streaming** — one JSON line is appended (and flushed to disk) the
-  moment each scenario completes, successes and failures alike, so a
-  crash mid-grid preserves every completed row including the failing
+* **streaming** — one JSON line is appended (and fsynced) the moment
+  each scenario completes, successes and failures alike, so a crash
+  mid-grid preserves every completed row including the failing
   scenario's exception *and* traceback;
 * **resume** — a re-run with ``resume=True`` reads the ledger, and any
   scenario whose cache key is recorded as ``ok`` *and* still present in
   the artifact store is served from the store without re-pricing a
   single design point.
 
+Since the distributed-sweep work the same file is also a **coordination
+substrate** for multiple concurrent workers:
+
+* **claims** — before pricing a scenario, a worker appends a
+  :class:`ClaimRecord` (worker id + heartbeat timestamp). Appends are a
+  single ``O_APPEND`` ``write(2)`` of one complete line, so concurrent
+  writers never interleave mid-line; ownership is arbitrated by file
+  order (:meth:`RunLedger.acquire` — first live claim wins), which
+  makes double-pricing impossible even when several workers share one
+  ledger.
+* **leases** — a claim's timestamp is refreshed by heartbeats while its
+  owner prices; a claim that has gone stale for longer than the lease
+  timeout marks a crashed worker, and its scenario is *re-issued* to
+  the next worker that asks.
+* **merging** — :func:`merge_ledgers` folds N shard ledgers into one
+  canonical row set (sorted by scenario id, volatile fields dropped),
+  detecting conflicts: the same scenario recorded ``ok`` with two
+  different artifact digests is a hard :class:`~repro.errors.
+  MergeConflictError`, because deterministic compilation makes that an
+  impossibility unless something is broken.
+
 The format is deliberately dumb: one self-contained JSON object per
 line, append-only, no header. A truncated final line (the crash case)
-is skipped on read; unknown fields are ignored, so old ledgers stay
-readable as the record grows.
+is skipped on read, as is a *valid-JSON-but-schema-incomplete* row
+(a crash can fsync a prefix of a row that still happens to parse);
+unknown fields are ignored, so old ledgers stay readable as the record
+grows.
 """
 
 from __future__ import annotations
@@ -26,18 +50,43 @@ import dataclasses
 import json
 import os
 import pathlib
-from dataclasses import dataclass
+import time
+from collections.abc import Sequence
+from dataclasses import dataclass, field
 from typing import TYPE_CHECKING
+
+from ..errors import MergeConflictError
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from .sweep import ScenarioOutcome
 
-__all__ = ["LedgerRecord", "RunLedger"]
+__all__ = [
+    "LedgerRecord",
+    "ClaimRecord",
+    "ClaimDecision",
+    "RunLedger",
+    "MergedRow",
+    "SourceStats",
+    "LedgerMergeResult",
+    "merge_ledgers",
+    "MERGE_FORMAT_VERSION",
+]
+
+#: Schema version of the canonical merged-ledger/report documents.
+MERGE_FORMAT_VERSION = 1
 
 
 @dataclass(frozen=True)
 class LedgerRecord:
-    """One completed scenario, as written to the run ledger."""
+    """One completed scenario, as written to the run ledger.
+
+    ``worker``/``shard`` are provenance for distributed sweeps (which
+    worker priced the row, under which ``i/N`` slice); ``reissued``
+    marks a scenario that was re-run after a previous claim's lease
+    expired; ``artifact_digest`` is the content digest of the stored
+    artifact entry, the field :func:`merge_ledgers` checks for
+    cross-shard conflicts.
+    """
 
     scenario_id: str
     key: str
@@ -49,9 +98,33 @@ class LedgerRecord:
     elapsed_s: float
     error: str | None = None
     traceback: str | None = None
+    worker: str | None = None
+    shard: str | None = None
+    reissued: bool = False
+    artifact_digest: str | None = None
+
+    #: Fields a row must carry (with JSON-compatible types) to count as
+    #: a record at all. A crash can fsync a *prefix* of a row that still
+    #: parses as JSON; requiring the full core schema means such a tail
+    #: is skipped instead of resurfacing as a half-empty outcome.
+    _REQUIRED = {
+        "scenario_id": str,
+        "key": str,
+        "status": str,
+        "cached": bool,
+        "resumed": bool,
+        "evaluations": int,
+        "elapsed_s": (int, float),
+    }
 
     @classmethod
-    def from_outcome(cls, outcome: "ScenarioOutcome") -> "LedgerRecord":
+    def from_outcome(
+        cls,
+        outcome: "ScenarioOutcome",
+        *,
+        worker: str | None = None,
+        shard: str | None = None,
+    ) -> "LedgerRecord":
         return cls(
             scenario_id=outcome.scenario_id,
             key=outcome.key,
@@ -63,16 +136,83 @@ class LedgerRecord:
             elapsed_s=outcome.elapsed_s,
             error=outcome.error,
             traceback=outcome.traceback,
+            worker=worker,
+            shard=shard,
+            reissued=outcome.reissued,
+            artifact_digest=outcome.artifact_digest,
         )
 
     @classmethod
     def from_doc(cls, doc: dict) -> "LedgerRecord":
+        for name, types in cls._REQUIRED.items():
+            if name not in doc or not isinstance(doc[name], types):
+                raise ValueError(f"ledger row missing/invalid field {name!r}")
+        if doc["status"] not in ("ok", "error"):
+            raise ValueError(f"ledger row has unknown status {doc['status']!r}")
+        if not (doc.get("latency_ms") is None
+                or isinstance(doc["latency_ms"], (int, float))):
+            raise ValueError("ledger row has non-numeric latency_ms")
         known = {f.name for f in dataclasses.fields(cls)}
         return cls(**{k: v for k, v in doc.items() if k in known})
 
 
+@dataclass(frozen=True)
+class ClaimRecord:
+    """A worker's declaration of intent to price one scenario.
+
+    ``ts`` is the heartbeat timestamp (``time.time()``): the initial
+    claim stamps it, and long-running owners append refreshed claims
+    with new timestamps. A claim whose latest heartbeat is older than
+    the lease timeout is *stale* — its owner is presumed dead and the
+    scenario may be re-issued.
+    """
+
+    scenario_id: str
+    key: str
+    worker: str
+    ts: float
+    shard: str | None = None
+
+    _REQUIRED = {
+        "scenario_id": str,
+        "key": str,
+        "worker": str,
+        "ts": (int, float),
+    }
+
+    @classmethod
+    def from_doc(cls, doc: dict) -> "ClaimRecord":
+        for name, types in cls._REQUIRED.items():
+            if name not in doc or not isinstance(doc[name], types):
+                raise ValueError(f"claim row missing/invalid field {name!r}")
+        known = {f.name for f in dataclasses.fields(cls)}
+        return cls(**{k: v for k, v in doc.items() if k in known and k != "kind"})
+
+
+@dataclass(frozen=True)
+class ClaimDecision:
+    """What :meth:`RunLedger.acquire` decided for one scenario.
+
+    ``owned`` — this worker holds the claim and must price the scenario.
+    ``holder`` — the owning worker id when someone else holds a live
+    claim (``owned=False``); the scenario should be *deferred*.
+    ``reissued`` — the claim supersedes a stale one left by a crashed
+    worker (only meaningful when ``owned``).
+    """
+
+    owned: bool
+    reissued: bool = False
+    holder: str | None = None
+
+
+def _parse_entry(doc: dict) -> LedgerRecord | ClaimRecord:
+    if doc.get("kind") == "claim":
+        return ClaimRecord.from_doc(doc)
+    return LedgerRecord.from_doc(doc)
+
+
 class RunLedger:
-    """An append-only JSONL file of :class:`LedgerRecord` lines.
+    """An append-only JSONL file of result and claim records.
 
     >>> ledger = RunLedger("build/sweep-ledger.jsonl")   # doctest: +SKIP
     >>> ledger.append(record)                            # doctest: +SKIP
@@ -88,31 +228,47 @@ class RunLedger:
 
     # -- write -----------------------------------------------------------------
 
-    def append(self, record: LedgerRecord) -> None:
-        """Durably append one record: write, flush, fsync.
+    def _append_doc(self, doc: dict) -> None:
+        """Durably append one line: a single ``O_APPEND`` write, then fsync.
 
-        The fsync is the point — the ledger's one job is surviving the
+        The single ``os.write`` of the whole line is the concurrency
+        contract: POSIX guarantees ``O_APPEND`` writes are atomic with
+        respect to the file offset, so two workers appending to one
+        ledger can never interleave bytes mid-line. The fsync is the
+        durability contract — the ledger's one job is surviving the
         sweep process dying at an arbitrary instant.
         """
         self.path.parent.mkdir(parents=True, exist_ok=True)
-        line = json.dumps(dataclasses.asdict(record), sort_keys=True)
-        with open(self.path, "a", encoding="utf-8") as fh:
-            fh.write(line + "\n")
-            fh.flush()
-            os.fsync(fh.fileno())
+        data = (json.dumps(doc, sort_keys=True) + "\n").encode("utf-8")
+        fd = os.open(
+            self.path, os.O_WRONLY | os.O_APPEND | os.O_CREAT, 0o644
+        )
+        try:
+            os.write(fd, data)
+            os.fsync(fd)
+        finally:
+            os.close(fd)
+
+    def append(self, record: LedgerRecord | ClaimRecord) -> None:
+        """Durably append one result or claim record."""
+        doc = dataclasses.asdict(record)
+        if isinstance(record, ClaimRecord):
+            doc["kind"] = "claim"
+        self._append_doc(doc)
 
     # -- read ------------------------------------------------------------------
 
-    def records(self) -> list[LedgerRecord]:
-        """Every parseable record, in append order.
+    def entries(self) -> list[LedgerRecord | ClaimRecord]:
+        """Every parseable record — results *and* claims — in append order.
 
-        Unparseable lines — a line truncated by a crash, manual edits —
-        are skipped rather than fatal: the ledger is a recovery aid, and
-        a skipped line merely re-prices one scenario.
+        Unparseable lines — a line truncated by a crash, a valid-JSON
+        row missing core schema fields (crash mid-field-fsync), manual
+        edits — are skipped rather than fatal: the ledger is a recovery
+        aid, and a skipped line merely re-prices one scenario.
         """
         if not self.exists():
             return []
-        out: list[LedgerRecord] = []
+        out: list[LedgerRecord | ClaimRecord] = []
         for line in self.path.read_text(encoding="utf-8").splitlines():
             line = line.strip()
             if not line:
@@ -121,10 +277,18 @@ class RunLedger:
                 doc = json.loads(line)
                 if not isinstance(doc, dict):
                     continue
-                out.append(LedgerRecord.from_doc(doc))
+                out.append(_parse_entry(doc))
             except (ValueError, TypeError):
                 continue
         return out
+
+    def records(self) -> list[LedgerRecord]:
+        """Every parseable *result* record, in append order."""
+        return [e for e in self.entries() if isinstance(e, LedgerRecord)]
+
+    def claims(self) -> list[ClaimRecord]:
+        """Every parseable *claim* record, in append order."""
+        return [e for e in self.entries() if isinstance(e, ClaimRecord)]
 
     def completed_keys(self) -> set[str]:
         """Cache keys of every scenario the ledger records as ``ok``.
@@ -135,5 +299,258 @@ class RunLedger:
         """
         return {r.key for r in self.records() if r.status == "ok" and r.key}
 
+    def open_claims(self) -> dict[str, list[ClaimRecord]]:
+        """Per-key claims not yet closed by a *later* result record.
+
+        A result row (ok or error) closes every claim for its key that
+        precedes it in the file; claims appended after the last result
+        start a fresh claim cycle. The returned lists preserve file
+        order — the arbitration order.
+        """
+        open_by_key: dict[str, list[ClaimRecord]] = {}
+        for entry in self.entries():
+            if isinstance(entry, ClaimRecord):
+                open_by_key.setdefault(entry.key, []).append(entry)
+            elif entry.key in open_by_key:
+                del open_by_key[entry.key]
+        return open_by_key
+
+    # -- coordination ----------------------------------------------------------
+
+    def acquire(
+        self,
+        scenario_id: str,
+        key: str,
+        worker: str,
+        *,
+        shard: str | None = None,
+        lease_timeout_s: float = 300.0,
+        now: float | None = None,
+    ) -> ClaimDecision:
+        """Try to claim ``key`` for ``worker``; first live claim wins.
+
+        Protocol: read the open claims; if another worker already holds
+        a live one, defer. Otherwise append our claim and *re-read* —
+        two workers can race past the first check, but ``O_APPEND``
+        gives their claim rows a total file order, and both sides agree
+        the earliest live claimant owns the scenario. The loser simply
+        defers; nothing is ever priced twice.
+
+        A stale claim (latest heartbeat older than ``lease_timeout_s``)
+        marks a crashed worker: the scenario is re-issued to us, with
+        ``reissued=True`` so progress reporting can account for it.
+        """
+        if now is None:
+            now = time.time()
+
+        def owner(claims: list[ClaimRecord]) -> ClaimRecord | None:
+            # Workers in order of first appearance; each worker's
+            # liveness is judged by its *latest* heartbeat.
+            order: list[str] = []
+            latest: dict[str, ClaimRecord] = {}
+            for c in claims:
+                if c.worker not in latest:
+                    order.append(c.worker)
+                latest[c.worker] = c
+            for w in order:
+                if now - latest[w].ts < lease_timeout_s:
+                    return latest[w]
+            return None
+
+        existing = self.open_claims().get(key, [])
+        holder = owner(existing)
+        if holder is not None and holder.worker != worker:
+            return ClaimDecision(owned=False, holder=holder.worker)
+        reissued = any(c.worker != worker for c in existing)
+        self.append(ClaimRecord(
+            scenario_id=scenario_id, key=key, worker=worker, ts=now,
+            shard=shard,
+        ))
+        # Arbitrate on the post-append file order: whoever's claim row
+        # landed first (and is still live) owns the scenario.
+        winner = owner(self.open_claims().get(key, []))
+        if winner is None or winner.worker != worker:
+            return ClaimDecision(
+                owned=False, holder=None if winner is None else winner.worker
+            )
+        return ClaimDecision(owned=True, reissued=reissued)
+
+    def heartbeat(self, claim: ClaimRecord, now: float | None = None) -> None:
+        """Refresh a held claim's lease by appending a new timestamp."""
+        self.append(dataclasses.replace(
+            claim, ts=time.time() if now is None else now
+        ))
+
     def __len__(self) -> int:
         return len(self.records())
+
+
+# -- merging -------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class MergedRow:
+    """One scenario of the canonical merged ledger.
+
+    Only deterministic fields survive the merge: identity, status, the
+    scheduled latency, the artifact digest, and (for failures) the
+    exception message. Volatile per-run fields — elapsed seconds,
+    worker ids, cache/resume provenance, tracebacks — are dropped, so
+    the merged rows are a pure function of the grid: byte-identical
+    whether produced by one serial sweep or N crash-riddled shards.
+    """
+
+    scenario_id: str
+    key: str
+    status: str
+    latency_ms: float | None
+    artifact_digest: str | None
+    error: str | None
+
+    def doc(self) -> dict:
+        return dataclasses.asdict(self)
+
+
+@dataclass(frozen=True)
+class SourceStats:
+    """Per-input accounting of one merged ledger."""
+
+    path: str
+    results: int
+    ok: int
+    errors: int
+    fresh: int                 # priced in this ledger (not cached/resumed)
+    claims: int
+    reissued: int
+    open_claims: int           # claims never closed by a result
+
+
+@dataclass
+class LedgerMergeResult:
+    """The canonical fold of N shard ledgers.
+
+    ``rows`` is sorted by scenario id — one row per scenario, ``ok``
+    preferred over ``error`` when shards disagree (a retry that
+    succeeded wins). ``double_priced`` lists keys that were *freshly*
+    priced by more than one worker: harmless for correctness (their
+    digests were proven identical) but evidence that shard partitioning
+    or claim coordination leaked work.
+    """
+
+    rows: list[MergedRow] = field(default_factory=list)
+    sources: list[SourceStats] = field(default_factory=list)
+    double_priced: list[str] = field(default_factory=list)
+    open_claims: list[ClaimRecord] = field(default_factory=list)
+
+    @property
+    def n_ok(self) -> int:
+        return sum(1 for r in self.rows if r.status == "ok")
+
+    @property
+    def n_errors(self) -> int:
+        return sum(1 for r in self.rows if r.status != "ok")
+
+    def canonical_ledger_text(self) -> str:
+        """The merged ledger as canonical JSONL (sorted, minimal rows)."""
+        return "".join(
+            json.dumps(row.doc(), sort_keys=True) + "\n" for row in self.rows
+        )
+
+    def report_doc(self) -> dict:
+        """The canonical merged report: counts plus every merged row.
+
+        Deliberately excludes wall-clock, worker ids, and per-source
+        stats — this document is the byte-identity surface ("a merged
+        distributed sweep equals a serial sweep"), so only deterministic
+        fields belong in it.
+        """
+        return {
+            "format": MERGE_FORMAT_VERSION,
+            "scenarios": len(self.rows),
+            "ok": self.n_ok,
+            "errors": self.n_errors,
+            "rows": [row.doc() for row in self.rows],
+        }
+
+    def report_text(self) -> str:
+        return json.dumps(self.report_doc(), indent=2, sort_keys=True) + "\n"
+
+
+def merge_ledgers(
+    ledgers: Sequence[RunLedger | str | os.PathLike],
+) -> LedgerMergeResult:
+    """Fold N shard ledgers into one canonical result set.
+
+    Conflict rule: two ``ok`` rows for the same key whose artifact
+    digests are both recorded and *differ* raise
+    :class:`~repro.errors.MergeConflictError` — compilation is
+    deterministic, so differing artifacts for one scenario mean a
+    corrupted store, a version-skewed worker, or a broken cache key,
+    and silently picking one would bury it.
+    """
+    sources: list[SourceStats] = []
+    by_key: dict[str, list[LedgerRecord]] = {}
+    sid_of: dict[str, str] = {}
+    all_open: list[ClaimRecord] = []
+    for item in ledgers:
+        ledger = item if isinstance(item, RunLedger) else RunLedger(item)
+        records = ledger.records()
+        claims = ledger.claims()
+        open_claims = ledger.open_claims()
+        sources.append(SourceStats(
+            path=str(ledger.path),
+            results=len(records),
+            ok=sum(1 for r in records if r.status == "ok"),
+            errors=sum(1 for r in records if r.status != "ok"),
+            fresh=sum(
+                1 for r in records
+                if r.status == "ok" and not r.cached and not r.resumed
+            ),
+            claims=len(claims),
+            reissued=sum(1 for r in records if r.reissued),
+            open_claims=sum(len(v) for v in open_claims.values()),
+        ))
+        for held in open_claims.values():
+            all_open.extend(held)
+        for rec in records:
+            if not rec.key:
+                continue
+            by_key.setdefault(rec.key, []).append(rec)
+            sid_of.setdefault(rec.key, rec.scenario_id)
+
+    result = LedgerMergeResult(sources=sources, open_claims=all_open)
+    for key, recs in by_key.items():
+        ok = [r for r in recs if r.status == "ok"]
+        digests = sorted({
+            r.artifact_digest for r in ok if r.artifact_digest is not None
+        })
+        if len(digests) > 1:
+            raise MergeConflictError(
+                f"scenario {sid_of[key]!r} (key {key}) has conflicting "
+                f"artifact digests across ledgers: {', '.join(digests)} — "
+                "deterministic compilation forbids this; a store is "
+                "corrupted or a worker ran skewed code"
+            )
+        if ok:
+            pick = ok[0]
+            row = MergedRow(
+                scenario_id=pick.scenario_id, key=key, status="ok",
+                latency_ms=pick.latency_ms,
+                artifact_digest=digests[0] if digests else None,
+                error=None,
+            )
+        else:
+            pick = recs[-1]
+            row = MergedRow(
+                scenario_id=pick.scenario_id, key=key, status="error",
+                latency_ms=None, artifact_digest=None, error=pick.error,
+            )
+        result.rows.append(row)
+        fresh = [
+            r for r in ok if not r.cached and not r.resumed
+        ]
+        if len(fresh) > 1:
+            result.double_priced.append(key)
+    result.rows.sort(key=lambda r: (r.scenario_id, r.key))
+    result.double_priced.sort()
+    return result

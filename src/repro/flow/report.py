@@ -21,6 +21,7 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..dse.engine import ParetoFrontier
     from ..dse.timing import StageStat
     from ..model.backend import DesignEvaluation
+    from .ledger import ClaimRecord, LedgerMergeResult, LedgerRecord
     from .sweep import SweepResult
 
 __all__ = [
@@ -32,6 +33,8 @@ __all__ = [
     "sweep_results_table",
     "sweep_comparison_table",
     "sweep_summary",
+    "shard_progress_table",
+    "merge_summary_table",
 ]
 
 
@@ -207,10 +210,18 @@ def sweep_results_table(result: "SweepResult", title: str | None = None) -> str:
                 else f"+{100 * (o.latency_ms / best - 1):.1f}%"
             )
             backend = o.artifacts.report.backend
+            if o.resumed:
+                source = "resume"
+            elif o.cached:
+                source = "cache"
+            elif o.reissued:
+                source = "reissue"
+            else:
+                source = "fresh"
             rows.append([
                 o.scenario_id,
                 "ok",
-                "resume" if o.resumed else ("cache" if o.cached else "fresh"),
+                source,
                 str(backend) if backend is not None else "-",
                 str(c.geometry),
                 c.mode.value,
@@ -220,6 +231,14 @@ def sweep_results_table(result: "SweepResult", title: str | None = None) -> str:
                 f"{o.artifacts.resources.dsp_pct:.0f}%",
                 f"{o.evaluations:,}",
                 delta,
+            ])
+        elif o.deferred:
+            # Another worker holds a live claim: nothing was priced here
+            # and the owner's ledger carries the result.
+            holder = f"@{o.holder}" if o.holder else "-"
+            rows.append([
+                o.scenario_id, "deferred", holder, "-", "-", "-", "-", "-",
+                "-", "-", "0", "-",
             ])
         else:
             rows.append([
@@ -233,7 +252,8 @@ def sweep_results_table(result: "SweepResult", title: str | None = None) -> str:
         title=title or "Sweep results",
     )
     errors = [
-        f"  {o.scenario_id}: {o.error}" for o in result.outcomes if not o.ok
+        f"  {o.scenario_id}: {o.error}"
+        for o in result.outcomes if o.error is not None
     ]
     if errors:
         table += "\n\nScenario errors:\n" + "\n".join(errors)
@@ -308,11 +328,23 @@ def sweep_summary(result: "SweepResult") -> str:
     resumed = (
         f" ({result.n_resumed} resumed via ledger)" if result.n_resumed else ""
     )
+    deferred = (
+        f", {result.n_deferred} deferred to other workers"
+        if result.n_deferred else ""
+    )
+    reissued = (
+        f" ({result.n_reissued} re-issued from stale claims)"
+        if result.n_reissued else ""
+    )
     lines = [
         f"Sweep: {result.n_scenarios} scenarios in {result.elapsed_s:.2f} s — "
-        f"{result.n_compiled} compiled, {result.n_cached} cache hits"
-        f"{resumed}, {result.n_errors} errors",
+        f"{result.n_compiled} compiled{reissued}, {result.n_cached} cache hits"
+        f"{resumed}, {result.n_errors} errors{deferred}",
     ]
+    if result.shard is not None or result.worker is not None:
+        shard = f"shard {result.shard}" if result.shard else "unsharded"
+        worker = f"worker {result.worker}" if result.worker else "no claims"
+        lines.append(f"Distribution: {shard}, {worker}")
     if result.store_stats is not None:
         s = result.store_stats
         lines.append(
@@ -355,6 +387,101 @@ def sweep_summary(result: "SweepResult") -> str:
             f"{pruned.items if pruned else 0:,} pruned"
         )
     return "\n".join(lines)
+
+
+def shard_progress_table(
+    entries: "Sequence[LedgerRecord | ClaimRecord]",
+    title: str | None = None,
+) -> str:
+    """Per-shard progress counters sourced from ledger records.
+
+    One row per shard label found in the ledger(s): scenarios claimed,
+    completed (``done`` = ok results), errors, re-issues of crashed
+    claims, and claims still open (claimed but never closed by a result
+    — in-flight work, or a crash not yet re-issued). Rows sort by shard
+    label; records that predate sharding land in the ``-`` row.
+    """
+    from .ledger import ClaimRecord as _Claim, LedgerRecord as _Record
+
+    stats: dict[str, dict[str, object]] = {}
+
+    def shard_row(shard: str | None) -> dict:
+        return stats.setdefault(shard or "-", {
+            "claimed": set(), "done": 0, "errors": 0, "reissued": 0,
+            "open": {},
+        })
+
+    for entry in entries:
+        if isinstance(entry, _Claim):
+            row = shard_row(entry.shard)
+            row["claimed"].add(entry.key)
+            row["open"][entry.key] = True
+        elif isinstance(entry, _Record):
+            row = shard_row(entry.shard)
+            if entry.status == "ok":
+                row["done"] += 1
+            else:
+                row["errors"] += 1
+            if entry.reissued:
+                row["reissued"] += 1
+            for r in stats.values():
+                r["open"].pop(entry.key, None)
+    rows = [
+        [
+            shard,
+            len(row["claimed"]),
+            row["done"],
+            row["errors"],
+            row["reissued"],
+            len(row["open"]),
+        ]
+        for shard, row in sorted(stats.items())
+    ]
+    return format_table(
+        ["Shard", "Claimed", "Done", "Errors", "Re-issued", "Open claims"],
+        rows,
+        title=title or "Per-shard progress (from ledger records)",
+    )
+
+
+def merge_summary_table(
+    merge: "LedgerMergeResult", title: str | None = None
+) -> str:
+    """Per-source accounting of one ``repro merge-ledgers`` fold.
+
+    One row per input ledger — result rows, ok/error split, scenarios
+    freshly priced there, claim traffic, re-issues, and still-open
+    claims — then a totals row for the canonical merged result. The
+    ``double-priced`` diagnostic (scenarios freshly priced by more than
+    one worker) is appended below the table when non-zero, because it
+    means the partitioning or claim coordination leaked work.
+    """
+    rows = [
+        [
+            s.path, s.results, s.ok, s.errors, s.fresh, s.claims,
+            s.reissued, s.open_claims,
+        ]
+        for s in merge.sources
+    ]
+    rows.append([
+        "merged", len(merge.rows), merge.n_ok, merge.n_errors,
+        sum(s.fresh for s in merge.sources),
+        sum(s.claims for s in merge.sources),
+        sum(s.reissued for s in merge.sources),
+        len(merge.open_claims),
+    ])
+    table = format_table(
+        ["Ledger", "Results", "OK", "Errors", "Fresh", "Claims",
+         "Re-issued", "Open"],
+        rows,
+        title=title or "Ledger merge summary",
+    )
+    if merge.double_priced:
+        table += (
+            f"\n\nDouble-priced scenarios ({len(merge.double_priced)}): "
+            + ", ".join(merge.double_priced)
+        )
+    return table
 
 
 def speedup_table(

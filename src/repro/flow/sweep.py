@@ -39,6 +39,7 @@ from __future__ import annotations
 import fnmatch
 import os
 import re
+import threading
 import time
 import traceback as traceback_module
 from collections.abc import Callable, Sequence
@@ -66,7 +67,7 @@ from .artifacts import (
     StoreStats,
     _key_doc,
 )
-from .ledger import LedgerRecord, RunLedger
+from .ledger import ClaimRecord, LedgerRecord, RunLedger
 from .nsflow import NSFlow
 
 __all__ = [
@@ -75,8 +76,20 @@ __all__ = [
     "ScenarioOutcome",
     "SweepResult",
     "expand_workload_axis",
+    "parse_shard",
+    "shard_index",
+    "shard_filter",
     "run_sweep",
+    "DEFAULT_LEASE_TIMEOUT_S",
 ]
+
+#: Default claim-lease timeout: how long a claimed scenario may go
+#: without a heartbeat before other workers treat its owner as dead and
+#: re-issue the work. Generous relative to per-scenario compile times —
+#: re-issuing a scenario whose owner is alive merely wastes one
+#: compilation (results stay correct; artifacts are deterministic), but
+#: a tight lease plus a slow scenario would churn.
+DEFAULT_LEASE_TIMEOUT_S = 300.0
 
 #: Upper bound on one ``name:lo-hi`` axis entry's expansion. Purely a
 #: footgun guard: a typo like ``synth:0-99999999`` should fail fast, not
@@ -128,6 +141,49 @@ def expand_workload_axis(
             f"seed-range axes need one"
         )
     return [(name, (("seed", k),)) for k in range(lo, hi + 1)]
+
+
+_SHARD_RE = re.compile(r"^(?P<index>\d+)/(?P<count>\d+)$")
+
+
+def parse_shard(text: str) -> tuple[int, int]:
+    """Parse a ``--shard i/N`` spec into a 1-based ``(i, N)`` pair."""
+    m = _SHARD_RE.match(text.strip())
+    if m is None:
+        raise ConfigError(
+            f"bad shard spec {text!r}; expected 'i/N' with 1 <= i <= N"
+        )
+    index, count = int(m.group("index")), int(m.group("count"))
+    if count < 1 or not 1 <= index <= count:
+        raise ConfigError(
+            f"bad shard spec {text!r}; expected 'i/N' with 1 <= i <= N"
+        )
+    return index, count
+
+
+def shard_index(spec: "ScenarioSpec | str", n_shards: int) -> int:
+    """Deterministic 0-based shard assignment for one scenario.
+
+    Hashes the scenario *id* (not its grid position), so the
+    partitioning is a pure function of scenario identity: any worker —
+    on any host, over any reordering or subset of the grid — computes
+    the same slice, shards are disjoint by construction, and together
+    they cover the grid.
+    """
+    if n_shards < 1:
+        raise ConfigError(f"n_shards must be >= 1, got {n_shards}")
+    sid = spec if isinstance(spec, str) else spec.scenario_id
+    return int(stable_digest(sid, length=16), 16) % n_shards
+
+
+def shard_filter(
+    specs: Sequence["ScenarioSpec"], shard: str | tuple[int, int]
+) -> list["ScenarioSpec"]:
+    """The subset of ``specs`` that shard ``i/N`` owns, order preserved."""
+    index, count = parse_shard(shard) if isinstance(shard, str) else shard
+    if count < 1 or not 1 <= index <= count:
+        raise ConfigError(f"bad shard ({index}, {count}); need 1 <= i <= N")
+    return [s for s in specs if shard_index(s, count) == index - 1]
 
 
 @dataclass(frozen=True)
@@ -355,6 +411,13 @@ class ScenarioOutcome:
     ``cached``); ``traceback`` carries the full formatted traceback for
     error outcomes so a failure recorded in the ledger is debuggable
     after the sweep process is gone.
+
+    Distributed-sweep provenance: ``deferred`` marks a scenario another
+    worker holds a live claim on (nothing was priced here — the owner
+    will record the result; ``holder`` names it), ``reissued`` marks a
+    scenario re-run after a crashed worker's claim lease expired, and
+    ``artifact_digest`` is the stored entry's content digest — the
+    cross-shard conflict-detection field of ``repro merge-ledgers``.
     """
 
     spec: ScenarioSpec
@@ -366,10 +429,14 @@ class ScenarioOutcome:
     elapsed_s: float
     resumed: bool = False
     traceback: str | None = None
+    deferred: bool = False
+    reissued: bool = False
+    holder: str | None = None
+    artifact_digest: str | None = None
 
     @property
     def ok(self) -> bool:
-        return self.error is None
+        return self.error is None and not self.deferred
 
     @property
     def scenario_id(self) -> str:
@@ -398,6 +465,8 @@ class SweepResult:
     fresh_model_evaluations: int = 0
     elapsed_s: float = 0.0
     stage_timings: dict[str, StageStat] = field(default_factory=dict)
+    shard: str | None = None
+    worker: str | None = None
 
     @property
     def n_scenarios(self) -> int:
@@ -418,7 +487,17 @@ class SweepResult:
 
     @property
     def n_errors(self) -> int:
-        return sum(1 for o in self.outcomes if not o.ok)
+        return sum(1 for o in self.outcomes if o.error is not None)
+
+    @property
+    def n_deferred(self) -> int:
+        """Scenarios another worker holds a live claim on (not priced here)."""
+        return sum(1 for o in self.outcomes if o.deferred)
+
+    @property
+    def n_reissued(self) -> int:
+        """Scenarios re-priced after a crashed worker's lease expired."""
+        return sum(1 for o in self.outcomes if o.reissued)
 
     @property
     def total_evaluations(self) -> int:
@@ -464,6 +543,45 @@ def _compile_scenario(
     return design, artifacts
 
 
+class _ClaimHeartbeat:
+    """Background lease refresher for one held claim.
+
+    While the owner prices a scenario, a daemon thread re-appends the
+    claim with fresh timestamps every third of the lease, so a healthy
+    worker's slow scenario is never mistaken for a crash. Appends are
+    single atomic ``O_APPEND`` writes, safe alongside the main thread's
+    own ledger writes. Leases shorter than :data:`MIN_HEARTBEAT_LEASE_S`
+    skip the thread — they exist for tests that *want* instant expiry.
+    """
+
+    MIN_HEARTBEAT_LEASE_S = 2.0
+
+    def __init__(
+        self, ledger: RunLedger, claim: ClaimRecord, lease_timeout_s: float
+    ):
+        self._ledger = ledger
+        self._claim = claim
+        self._stop = threading.Event()
+        self._thread: threading.Thread | None = None
+        if lease_timeout_s >= self.MIN_HEARTBEAT_LEASE_S:
+            self._thread = threading.Thread(
+                target=self._run, args=(lease_timeout_s / 3.0,), daemon=True
+            )
+            self._thread.start()
+
+    def _run(self, interval_s: float) -> None:
+        while not self._stop.wait(interval_s):
+            try:
+                self._ledger.heartbeat(self._claim)
+            except OSError:  # pragma: no cover - ledger unlinked mid-run
+                return
+
+    def stop(self) -> None:
+        self._stop.set()
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+
+
 def run_sweep(
     grid: ScenarioGrid | Sequence[ScenarioSpec],
     *,
@@ -474,6 +592,9 @@ def run_sweep(
     progress: Callable[[ScenarioOutcome], None] | None = None,
     ledger: RunLedger | str | os.PathLike | None = None,
     resume: bool = False,
+    shard: str | tuple[int, int] | None = None,
+    worker: str | None = None,
+    lease_timeout_s: float = DEFAULT_LEASE_TIMEOUT_S,
 ) -> SweepResult:
     """Compile every scenario of ``grid``, reusing cached artifacts.
 
@@ -515,6 +636,25 @@ def run_sweep(
         entries are retried, and a ledger entry whose store artifact has
         since vanished is recompiled (the ledger is an index, the store
         is the truth).
+    shard:
+        ``"i/N"`` (or a 1-based ``(i, N)`` tuple): run only the grid
+        scenarios whose stable scenario-id hash lands in slice ``i`` of
+        ``N``. Any worker computes the same partition for the same grid
+        — shards are disjoint, cover the grid, and survive grid
+        reordering — so N processes given ``1/N .. N/N`` split the
+        sweep with no coordinator.
+    worker:
+        A worker id (unique per process, e.g. ``host-pid``). When both
+        ``worker`` and ``ledger`` are given, the sweep runs the *claim
+        protocol*: each to-be-priced scenario is first claimed in the
+        ledger (atomic append, first live claim wins), heartbeats keep
+        the claim's lease fresh while pricing, and scenarios claimed by
+        another live worker are **deferred** (recorded on the result,
+        never priced here). A stale claim — its owner crashed —
+        is **re-issued** to this worker.
+    lease_timeout_s:
+        How stale a claim's heartbeat may grow before its owner is
+        presumed dead and the scenario is re-issued.
 
     Failure isolation: any exception from one scenario (trace extraction,
     DSE, backend, artifact I/O) is recorded on its outcome — message and
@@ -532,9 +672,18 @@ def run_sweep(
         raise ConfigError("resume=True requires a run ledger")
     if resume and store is None:
         raise ConfigError("resume=True requires an artifact store")
+    shard_label: str | None = None
+    if shard is not None:
+        index, count = parse_shard(shard) if isinstance(shard, str) else shard
+        shard_label = f"{index}/{count}"
+    if worker is not None and ledger is None:
+        raise ConfigError("worker (claim protocol) requires a run ledger")
+    claims_active = ledger is not None and worker is not None
     completed = ledger.completed_keys() if resume else frozenset()
     specs = list(grid.expand() if isinstance(grid, ScenarioGrid) else grid)
-    result = SweepResult()
+    if shard_label is not None:
+        specs = shard_filter(specs, (index, count))
+    result = SweepResult(shard=shard_label, worker=worker)
     snapshot = counters_snapshot()
     timing_snapshot = timings_snapshot()
     t_start = time.perf_counter()
@@ -552,6 +701,7 @@ def run_sweep(
                         error=None, evaluations=0,
                         elapsed_s=time.perf_counter() - t0,
                         resumed=resumed,
+                        artifact_digest=store.entry_digest(key),
                     )
                 else:
                     # The ledger may claim this key is done (`resumed`
@@ -562,17 +712,56 @@ def run_sweep(
                     # summary tally while the elapsed time and fresh
                     # evaluations say otherwise.
                     resumed = False
-                    design, artifacts = _compile_scenario(
-                        spec, pool, partition_search, mf_slack
-                    )
-                    if store is not None:
-                        store.store(key, design, spec.key_doc())
+                    reissued = False
+                    heartbeat = None
+                    if claims_active:
+                        decision = ledger.acquire(
+                            spec.scenario_id, key, worker,
+                            shard=shard_label,
+                            lease_timeout_s=lease_timeout_s,
+                        )
+                        if not decision.owned:
+                            # Another live worker owns this scenario; it
+                            # will record the result. Nothing is priced
+                            # or appended here — a deferred row in the
+                            # ledger would read as a second outcome.
+                            outcome = ScenarioOutcome(
+                                spec=spec, key=key, cached=False,
+                                artifacts=None, error=None, evaluations=0,
+                                elapsed_s=time.perf_counter() - t0,
+                                deferred=True, holder=decision.holder,
+                            )
+                            result.outcomes.append(outcome)
+                            if progress is not None:
+                                progress(outcome)
+                            continue
+                        reissued = decision.reissued
+                        heartbeat = _ClaimHeartbeat(
+                            ledger,
+                            ClaimRecord(
+                                scenario_id=spec.scenario_id, key=key,
+                                worker=worker, ts=0.0, shard=shard_label,
+                            ),
+                            lease_timeout_s,
+                        )
+                    try:
+                        design, artifacts = _compile_scenario(
+                            spec, pool, partition_search, mf_slack
+                        )
+                        digest = None
+                        if store is not None:
+                            store.store(key, design, spec.key_doc())
+                            digest = store.entry_digest(key)
+                    finally:
+                        if heartbeat is not None:
+                            heartbeat.stop()
                     outcome = ScenarioOutcome(
                         spec=spec, key=key, cached=False, artifacts=artifacts,
                         error=None,
                         evaluations=design.dse.phase1.candidates_evaluated,
                         elapsed_s=time.perf_counter() - t0,
-                        resumed=resumed,
+                        resumed=resumed, reissued=reissued,
+                        artifact_digest=digest,
                     )
             except Exception as exc:   # noqa: BLE001 - isolation is the point
                 outcome = ScenarioOutcome(
@@ -583,7 +772,9 @@ def run_sweep(
                 )
             result.outcomes.append(outcome)
             if ledger is not None:
-                ledger.append(LedgerRecord.from_outcome(outcome))
+                ledger.append(LedgerRecord.from_outcome(
+                    outcome, worker=worker, shard=shard_label,
+                ))
             if progress is not None:
                 progress(outcome)
         # Account the counters before the pool closes: DsePool.close()

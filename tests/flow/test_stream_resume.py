@@ -131,6 +131,91 @@ class TestRunLedger:
         assert len(ledger) == 1
 
 
+class TestLedgerSchemaTolerance:
+    """Valid-JSON-but-schema-incomplete rows must be skipped, not crash.
+
+    A crash can land between ``write`` and ``fsync`` in ways that leave
+    a *parseable* JSON object missing fields (or a manual edit can
+    forge one); resume must treat such rows exactly like a truncated
+    tail — skip them — instead of raising ``KeyError``/``TypeError``.
+    """
+
+    GOOD = dict(scenario_id="a", key="k1", status="ok", cached=False,
+                resumed=False, latency_ms=1.0, evaluations=1,
+                elapsed_s=0.1)
+
+    def _ledger_with_tail(self, tmp_path, tail_doc):
+        path = tmp_path / "run.jsonl"
+        path.write_text(json.dumps(self.GOOD) + "\n"
+                        + json.dumps(tail_doc) + "\n")
+        return RunLedger(path)
+
+    @pytest.mark.parametrize("missing", [
+        "scenario_id", "key", "status", "cached", "resumed",
+        "evaluations", "elapsed_s",
+    ])
+    def test_tail_missing_required_field_skipped(self, tmp_path, missing):
+        doc = dict(self.GOOD, key="k2")
+        del doc[missing]
+        ledger = self._ledger_with_tail(tmp_path, doc)
+        assert [r.key for r in ledger.records()] == ["k1"]
+        assert ledger.completed_keys() == {"k1"}
+
+    @pytest.mark.parametrize("field,bad", [
+        ("cached", "yes"),          # string where bool expected
+        ("resumed", 1),             # int is not bool
+        ("evaluations", "many"),
+        ("elapsed_s", "fast"),
+        ("scenario_id", None),
+        ("key", 42),
+        ("status", "finished"),     # unknown status value
+        ("latency_ms", "1.0ms"),    # non-numeric, non-null
+    ])
+    def test_tail_with_forged_field_skipped(self, tmp_path, field, bad):
+        doc = dict(self.GOOD, key="k2")
+        doc[field] = bad
+        ledger = self._ledger_with_tail(tmp_path, doc)
+        assert [r.key for r in ledger.records()] == ["k1"]
+        assert ledger.completed_keys() == {"k1"}
+
+    def test_incomplete_row_mid_file_skipped_rest_read(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        rows = [
+            dict(self.GOOD),
+            {"scenario_id": "b", "key": "k2"},              # incomplete
+            dict(self.GOOD, scenario_id="c", key="k3"),
+        ]
+        path.write_text("".join(json.dumps(r) + "\n" for r in rows))
+        ledger = RunLedger(path)
+        assert [r.key for r in ledger.records()] == ["k1", "k3"]
+        assert ledger.completed_keys() == {"k1", "k3"}
+
+    def test_forged_claim_rows_skipped(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        rows = [
+            dict(self.GOOD),
+            {"kind": "claim", "scenario_id": "b"},          # no key/worker/ts
+            {"kind": "claim", "scenario_id": "b", "key": "k2",
+             "worker": "w1", "ts": "yesterday"},            # non-numeric ts
+        ]
+        path.write_text("".join(json.dumps(r) + "\n" for r in rows))
+        ledger = RunLedger(path)
+        assert ledger.claims() == []
+        assert ledger.completed_keys() == {"k1"}
+
+    def test_resume_survives_forged_tail(self, tmp_path):
+        """End to end: a forged tail row must not crash ``--resume``."""
+        ledger = RunLedger(tmp_path / "run.jsonl")
+        store = ArtifactStore(tmp_path / "cache")
+        grid = synth_grid("0-2")
+        run_sweep(grid, store=store, ledger=ledger)
+        with open(ledger.path, "a") as fh:
+            fh.write(json.dumps({"scenario_id": "z", "status": "ok"}) + "\n")
+        resumed = run_sweep(grid, store=store, ledger=ledger, resume=True)
+        assert resumed.n_resumed == 3
+        assert resumed.total_evaluations == 0
+
+
 class TestStreamingSweep:
     def test_every_outcome_streams_to_the_ledger(self, tmp_path):
         ledger = RunLedger(tmp_path / "run.jsonl")

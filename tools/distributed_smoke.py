@@ -1,0 +1,219 @@
+#!/usr/bin/env python
+"""Distributed-sweep crash-injection smoke gate.
+
+Runs the headline distributed-sweep guarantee end to end, with no test
+framework in the loop (CI's ``distributed-smoke`` job):
+
+1. serial golden — one in-process sweep over a synth seed grid;
+2. N concurrent worker *processes*, each compiling its ``--shard i/N``
+   slice into a private ledger + artifact store; worker 1 SIGKILLs
+   itself immediately after durably appending its Nth claim record
+   (claimed, never priced — the worst crash window);
+3. the victim's shard is re-run under a fresh worker id with a short
+   lease, so the dead worker's stale claims are re-issued;
+4. the N shard ledgers are merged: the canonical ledger and report must
+   be **byte-identical** to the serial golden's, with zero
+   double-priced scenarios and zero open claims, and the folded
+   artifact store must hold every entry with ledger-verified digests.
+
+Any violated invariant exits non-zero.
+
+Usage:
+    PYTHONPATH=src python tools/distributed_smoke.py [--seeds 0-119]
+        [--workers 4] [--kill-after 3] [--workdir DIR]
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import pathlib
+import signal
+import subprocess
+import sys
+import tempfile
+import time
+
+sys.path.insert(
+    0, str(pathlib.Path(__file__).resolve().parents[1] / "src")
+)
+
+from repro.flow import (  # noqa: E402
+    ArtifactStore,
+    RunLedger,
+    ScenarioGrid,
+    fold_stores,
+    merge_ledgers,
+    run_sweep,
+    shard_filter,
+)
+
+#: Tiny synth family — milliseconds per scenario.
+SYNTH_OVR = (("n_ops", 8), ("vector_dim", 64), ("blocks", 2),
+             ("gemm_scale", 16))
+
+
+def synth_grid(seeds: str) -> ScenarioGrid:
+    return ScenarioGrid(workloads=(f"synth:{seeds}",), max_pes=(256,),
+                        overrides=SYNTH_OVR)
+
+
+def _worker_main(args: argparse.Namespace) -> int:
+    """Subprocess entry: one sharded sweep, optionally self-SIGKILLed
+    right after the ``--kill-after``\\ th claim record hits the disk."""
+    ledger = RunLedger(args.cache / "ledger.jsonl")
+    if args.kill_after >= 0:
+        seen = [0]
+        orig = RunLedger._append_doc
+
+        def kill_after_nth_claim(self, doc):
+            orig(self, doc)
+            if doc.get("kind") == "claim":
+                seen[0] += 1
+                if seen[0] >= args.kill_after:
+                    os.kill(os.getpid(), signal.SIGKILL)
+
+        RunLedger._append_doc = kill_after_nth_claim
+    result = run_sweep(
+        synth_grid(args.seeds), store=ArtifactStore(args.cache / "store"),
+        ledger=ledger, shard=args.shard, worker=args.worker_id,
+        lease_timeout_s=args.lease,
+    )
+    return 0 if result.n_errors == 0 else 1
+
+
+def _spawn(workdir: pathlib.Path, args: argparse.Namespace, i: int, *,
+           worker_id: str, lease: float = 300.0,
+           kill_after: int = -1) -> subprocess.Popen:
+    return subprocess.Popen(
+        [
+            sys.executable, os.path.abspath(__file__), "--role", "worker",
+            "--cache", str(workdir / f"shard{i}"),
+            "--shard", f"{i}/{args.workers}", "--seeds", args.seeds,
+            "--worker-id", worker_id, "--lease", str(lease),
+            "--kill-after", str(kill_after),
+        ],
+        stdout=subprocess.DEVNULL, stderr=subprocess.PIPE, text=True,
+    )
+
+
+def _check(ok: bool, what: str) -> bool:
+    print(("PASS" if ok else "FAIL") + f"  {what}")
+    return ok
+
+
+def _driver_main(args: argparse.Namespace) -> int:
+    workdir = args.workdir or pathlib.Path(tempfile.mkdtemp(
+        prefix="nsflow-distributed-smoke-"
+    ))
+    workdir.mkdir(parents=True, exist_ok=True)
+    n = args.workers
+    print(f"workdir: {workdir}")
+    print(f"grid: synth:{args.seeds} x {n} shards, "
+          f"SIGKILL worker 1 after claim #{args.kill_after}")
+
+    victim_slice = shard_filter(synth_grid(args.seeds).expand(),
+                                (1, n))
+    if args.kill_after >= 0 and len(victim_slice) <= args.kill_after:
+        print(f"error: shard 1/{n} holds only {len(victim_slice)} "
+              f"scenarios; lower --kill-after or widen --seeds",
+              file=sys.stderr)
+        return 2
+
+    # 1. serial golden.
+    t0 = time.monotonic()
+    serial_ledger = RunLedger(workdir / "serial" / "ledger.jsonl")
+    serial = run_sweep(synth_grid(args.seeds),
+                       store=ArtifactStore(workdir / "serial" / "store"),
+                       ledger=serial_ledger)
+    golden = merge_ledgers([serial_ledger])
+    print(f"serial: {serial.n_compiled} compiled "
+          f"in {time.monotonic() - t0:.1f} s")
+
+    # 2. N concurrent sharded workers, one with the fault armed.
+    procs = [
+        _spawn(workdir, args, i, worker_id=f"smoke-w{i}",
+               kill_after=(args.kill_after if i == 1 else -1))
+        for i in range(1, n + 1)
+    ]
+    errs = [p.communicate(timeout=900)[1] for p in procs]
+    ok = True
+    if args.kill_after >= 0:
+        ok &= _check(procs[0].returncode == -signal.SIGKILL,
+                     f"worker 1 died by SIGKILL (rc={procs[0].returncode})")
+    for i, (p, err) in enumerate(zip(procs, errs), start=1):
+        if i == 1 and args.kill_after >= 0:
+            continue
+        ok &= _check(p.returncode == 0,
+                     f"worker {i} exited cleanly"
+                     + (f": {err.strip()}" if p.returncode else ""))
+
+    # 3. re-issue the victim's claimed-but-unpriced work.
+    if args.kill_after >= 0:
+        victim = RunLedger(workdir / "shard1" / "ledger.jsonl")
+        ok &= _check(bool(victim.open_claims()),
+                     "victim left open claims behind")
+        time.sleep(0.6)
+        rerun = _spawn(workdir, args, 1, worker_id="smoke-w1b", lease=0.5)
+        _, err = rerun.communicate(timeout=900)
+        ok &= _check(rerun.returncode == 0,
+                     "victim shard re-run exited cleanly"
+                     + (f": {err.strip()}" if rerun.returncode else ""))
+        ok &= _check(any(r.reissued for r in victim.records()),
+                     "stale claims were re-issued")
+
+    # 4. merge and compare against the golden.
+    merged = merge_ledgers([
+        RunLedger(workdir / f"shard{i}" / "ledger.jsonl")
+        for i in range(1, n + 1)
+    ])
+    ok &= _check(merged.double_priced == [],
+                 f"zero double-priced scenarios "
+                 f"(got {len(merged.double_priced)})")
+    ok &= _check(merged.open_claims == [], "zero open claims after merge")
+    ok &= _check(
+        merged.canonical_ledger_text() == golden.canonical_ledger_text(),
+        "merged canonical ledger byte-identical to serial",
+    )
+    ok &= _check(merged.report_text() == golden.report_text(),
+                 "merged report byte-identical to serial")
+    stats = fold_stores(
+        [workdir / f"shard{i}" / "store" for i in range(1, n + 1)],
+        workdir / "merged-store",
+        expected={r.key: r.artifact_digest for r in merged.rows},
+    )
+    ok &= _check(stats.missing == () and stats.copied == len(merged.rows),
+                 f"store fold complete ({stats.copied} entries, "
+                 f"{len(stats.missing)} missing)")
+    return 0 if ok else 1
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--role", choices=("driver", "worker"),
+                        default="driver", help=argparse.SUPPRESS)
+    parser.add_argument("--seeds", default="0-119",
+                        help="synth seed range (default: 0-119)")
+    parser.add_argument("--workers", type=int, default=4,
+                        help="concurrent sharded worker processes")
+    parser.add_argument("--kill-after", type=int, default=3,
+                        dest="kill_after",
+                        help="SIGKILL worker 1 after its Nth claim "
+                             "(-1 disables the fault)")
+    parser.add_argument("--workdir", type=pathlib.Path, default=None,
+                        help="working directory (default: a fresh tempdir)")
+    # worker-role plumbing
+    parser.add_argument("--cache", type=pathlib.Path, help=argparse.SUPPRESS)
+    parser.add_argument("--shard", help=argparse.SUPPRESS)
+    parser.add_argument("--worker-id", dest="worker_id",
+                        help=argparse.SUPPRESS)
+    parser.add_argument("--lease", type=float, default=300.0,
+                        help=argparse.SUPPRESS)
+    args = parser.parse_args(argv)
+    if args.role == "worker":
+        return _worker_main(args)
+    return _driver_main(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())
