@@ -41,9 +41,11 @@ import math
 import time
 from collections.abc import Iterator, Sequence
 from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
 
-from ..errors import DSEError
+from ..errors import DSEError, PoisonScenarioError
+from ..faults import faultpoint
 from ..graph.dataflow import DataflowGraph
 from ..model.backend import (
     AUTO_DENSE_MAX_N,
@@ -151,6 +153,16 @@ class SweepExecutor:
     def close(self) -> None:
         """Release executor resources; further ``map`` calls are invalid."""
 
+    def terminate(self) -> None:
+        """Forcefully release resources without waiting on running work.
+
+        The default just closes; executors whose ``close`` can block on
+        a hung worker (process pools) override this with a hard stop.
+        Unlike ``close``, a terminated executor may be mapped on again —
+        it must rebuild whatever it tore down.
+        """
+        self.close()
+
 
 class SerialExecutor(SweepExecutor):
     """In-process, no-spawn execution — the ``jobs == 1`` path."""
@@ -160,23 +172,103 @@ class SerialExecutor(SweepExecutor):
 
 
 class ProcessExecutor(SweepExecutor):
-    """A lazily created ``ProcessPoolExecutor`` worker fleet."""
+    """A lazily created, *supervised* ``ProcessPoolExecutor`` fleet.
+
+    A worker dying mid-batch (OOM kill, segfault, an injected
+    ``dse.worker:kill`` fault) historically surfaced as
+    ``BrokenProcessPool`` and aborted the entire sweep, losing every
+    sibling scenario. This executor supervises instead:
+
+    * a broken pool is torn down and lazily rebuilt, and only the batch
+      that was in flight is re-run;
+    * if the re-run breaks the pool again, the batch is *bisected* so
+      healthy items complete and the offender is isolated;
+    * a single item that keeps killing fresh workers is poison —
+      after :data:`MAX_ITEM_ATTEMPTS` attempts it raises
+      :class:`~repro.errors.PoisonScenarioError`, which the sweep
+      records as that one scenario's error row while the rest proceed.
+
+    Results are position-stable, so supervision cannot change outputs —
+    only whether a crash is survivable. ``rebuilds`` counts pool
+    rebuilds over the executor's lifetime for reporting.
+    """
+
+    #: Attempts a single work item gets before being declared poison.
+    MAX_ITEM_ATTEMPTS = 3
+    #: Rebuild budget per ``map`` call, beyond which the pool is judged
+    #: systemically broken (fork bomb protection, not fault tolerance).
+    MAX_MAP_REBUILDS = 32
 
     def __init__(self, jobs: int):
         if jobs < 1:
             raise DSEError(f"jobs must be >= 1, got {jobs}")
         self.jobs = jobs
         self._executor: ProcessPoolExecutor | None = None
+        self.rebuilds = 0
+        self._map_rebuilds = 0
 
-    def map(self, fn, items: Sequence, chunksize: int) -> list:
+    def _ensure(self) -> ProcessPoolExecutor:
         if self._executor is None:
             self._executor = ProcessPoolExecutor(max_workers=self.jobs)
-        return list(self._executor.map(fn, items, chunksize=chunksize))
+        return self._executor
+
+    def _discard_broken(self) -> None:
+        if self._executor is not None:
+            self._executor.shutdown(wait=False, cancel_futures=True)
+            self._executor = None
+        self.rebuilds += 1
+        self._map_rebuilds += 1
+
+    def map(self, fn, items: Sequence, chunksize: int) -> list:
+        results = [None] * len(items)
+        self._map_rebuilds = 0
+        self._run(fn, list(enumerate(items)), chunksize, results)
+        return results
+
+    def _run(self, fn, indexed: list, chunksize: int, results: list,
+             attempt: int = 1) -> None:
+        try:
+            mapped = list(self._ensure().map(
+                fn, [item for _, item in indexed], chunksize=chunksize
+            ))
+        except BrokenProcessPool:
+            self._discard_broken()
+            if self._map_rebuilds > self.MAX_MAP_REBUILDS:
+                raise DSEError(
+                    f"process pool broke {self._map_rebuilds} times in one "
+                    "map; workers are dying faster than work completes"
+                ) from None
+            if len(indexed) > 1:
+                mid = len(indexed) // 2
+                self._run(fn, indexed[:mid], chunksize, results)
+                self._run(fn, indexed[mid:], chunksize, results)
+            elif attempt < self.MAX_ITEM_ATTEMPTS:
+                self._run(fn, indexed, chunksize, results, attempt + 1)
+            else:
+                raise PoisonScenarioError(
+                    f"work unit crashed a fresh worker pool {attempt} "
+                    "times in a row; quarantining it instead of retrying "
+                    "forever"
+                ) from None
+        else:
+            for (pos, _), value in zip(indexed, mapped):
+                results[pos] = value
 
     def close(self) -> None:
         if self._executor is not None:
             self._executor.shutdown()
             self._executor = None
+
+    def terminate(self) -> None:
+        """Hard-stop the fleet (possibly hung workers); rebuilt lazily."""
+        if self._executor is None:
+            return
+        procs = list(getattr(self._executor, "_processes", {}).values())
+        self._executor.shutdown(wait=False, cancel_futures=True)
+        self._executor = None
+        for proc in procs:
+            if proc.is_alive():
+                proc.terminate()
 
 
 #: Executor-backend registry: name → factory taking the jobs budget.
@@ -280,6 +372,18 @@ class DsePool:
         if not self._closed and self.clear_caches_on_close:
             clear_model_caches()
         self._closed = True
+
+    def reset(self) -> None:
+        """Hard-stop the executor's current workers; the pool stays usable.
+
+        The recovery hook for a scenario timeout: the interrupted
+        ``map`` may have left work running (or hung) on pool workers,
+        and a graceful ``close`` would block on it. ``terminate`` drops
+        the fleet without waiting; the next ``map`` rebuilds it lazily.
+        """
+        if self._closed:
+            raise DSEError("DsePool is closed")
+        self._executor.terminate()
 
     @property
     def closed(self) -> bool:
@@ -551,6 +655,7 @@ def _evaluate_candidates(
     the per-geometry partition search; other backends score geometries
     one by one.
     """
+    faultpoint("dse.evaluate")
     backend = backend or _ANALYTIC_BACKEND
     scores = backend.score_geometries(
         [(c.h, c.w, c.n_sub) for c in candidates], layers, vsa_nodes, search
@@ -566,6 +671,9 @@ def _evaluate_chunk(
     backend: EvaluationBackend | None = None,
 ) -> list[GeometryEval]:
     """Process-pool work unit: score a batch of geometries."""
+    # Worker-entry failpoint: the canonical site for ``kill`` faults,
+    # hit inside the pool worker process (not the coordinator).
+    faultpoint("dse.worker")
     return _evaluate_candidates(chunk, layers, vsa_nodes, search, backend)
 
 

@@ -56,3 +56,40 @@ class MergeConflictError(NSFlowError):
     version-skewed worker, or a broken cache key — merging must stop,
     not silently pick a side.
     """
+
+
+class LedgerWriteError(NSFlowError):
+    """A ledger append could not be made durable.
+
+    Raised on a short ``write(2)`` (the classic ENOSPC symptom) or when
+    an fsync keeps failing after retries. The append is *not* silently
+    dropped and *not* blindly re-issued — re-appending a row whose bytes
+    may already be on disk would duplicate it.
+    """
+
+
+class PoisonScenarioError(DSEError):
+    """A work unit repeatedly crashed the worker pool and was quarantined.
+
+    The supervised executor rebuilds a broken pool and bisects the
+    failed batch down to the offending item; an item that kills a fresh
+    worker on every attempt is poison — deterministic sweeps must fail
+    it loudly rather than retry forever or abort sibling scenarios.
+    """
+
+
+class ScenarioTimeoutError(NSFlowError):
+    """A scenario exceeded its per-scenario wall-clock budget.
+
+    Recorded in the ledger as a retryable ``error`` row, exactly like
+    any other scenario failure: a ``--resume`` pass re-prices it.
+    """
+
+
+class InjectedFault(NSFlowError, OSError):
+    """An error raised by an armed failpoint (see :mod:`repro.faults`).
+
+    Subclasses :class:`OSError` so injected I/O failures travel the same
+    ``except OSError`` recovery paths (retry policies, heartbeat
+    supervision) as the real thing.
+    """

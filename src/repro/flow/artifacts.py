@@ -55,7 +55,8 @@ from dataclasses import dataclass
 from typing import TYPE_CHECKING
 
 from ..arch.resources import FpgaDevice, ResourceEstimate
-from ..errors import MergeConflictError
+from ..errors import MergeConflictError, NSFlowError
+from ..faults import RetryPolicy, faultpoint
 from ..dse.config import (
     DesignConfig,
     ExecutionMode,
@@ -178,11 +179,20 @@ def _key_doc(
 
 @dataclass(frozen=True)
 class StoreStats:
-    """Counters of one store's lifetime (reset only with the instance)."""
+    """Counters of one store's lifetime (reset only with the instance).
+
+    ``corrupt`` counts entries that were *present but failed* the
+    read-time audit (truncated JSON, bad schema, trace-fingerprint
+    mismatch) — a strict subset of ``misses``; ``quarantined`` counts
+    how many of those were successfully moved to ``<root>/quarantine/``
+    for post-mortem instead of being silently overwritten.
+    """
 
     hits: int
     misses: int
     stores: int
+    corrupt: int = 0
+    quarantined: int = 0
 
     @property
     def lookups(self) -> int:
@@ -301,20 +311,31 @@ class ArtifactStore:
 
     ``load`` never raises on a bad entry: missing files, truncated JSON,
     or a format/epoch mismatch all count as a miss (the entry will be
-    rewritten by the next ``store``). Counters are exposed via
-    :attr:`stats` so sweeps can prove warm-cache behavior.
+    rewritten by the next ``store``). Corruption is *not* silent,
+    though: an entry that is present but fails the read-time audit is
+    counted (``corrupt``) and moved aside to ``<root>/quarantine/<key>``
+    so the recompile cannot destroy the evidence. Counters are exposed
+    via :attr:`stats` so sweeps can prove warm-cache behavior.
     """
 
     _META = "meta.json"
     _TRACE = "trace.json"
     _CONFIG = "design_config.json"
     _REPORT = "report.json"
+    #: Quarantine directory name; deliberately longer than the 2-char
+    #: fan-out prefix so ``keys()``' ``??/*`` glob never sees it.
+    _QUARANTINE = "quarantine"
 
-    def __init__(self, root: str | os.PathLike):
+    def __init__(self, root: str | os.PathLike,
+                 retry: RetryPolicy | None = None):
         self.root = pathlib.Path(root)
+        #: Policy for transient write failures; ``None`` disables retries.
+        self.retry = retry
         self.hits = 0
         self.misses = 0
         self.stores = 0
+        self.corrupt = 0
+        self.quarantined = 0
 
     # -- addressing ------------------------------------------------------------
 
@@ -363,31 +384,85 @@ class ArtifactStore:
 
     # -- read ------------------------------------------------------------------
 
+    def _read_text(self, path: pathlib.Path, name: str) -> str:
+        """One artifact file's text, routed through the read failpoint."""
+        data = faultpoint("artifacts.load.read", (path / name).read_bytes())
+        return data.decode("utf-8")
+
     def load(self, key: str) -> ScenarioArtifacts | None:
-        """Return the cached artifacts for ``key``, or ``None`` on a miss."""
+        """Return the cached artifacts for ``key``, or ``None`` on a miss.
+
+        Three distinct miss shapes, deliberately kept apart:
+
+        * *absent* (no ``meta.json``) — the ordinary cold-cache miss;
+        * *version-skewed* (older format/epoch) — a valid entry from
+          older code, silently superseded by the next store;
+        * *corrupt* (present but unreadable, schema-invalid, or failing
+          the trace-fingerprint audit) — counted, quarantined to
+          ``<root>/quarantine/<key>``, and then treated as a miss so the
+          caller recompiles.
+        """
         path = self.path_for(key)
+        if not (path / self._META).is_file():
+            self.misses += 1
+            return None
         try:
-            meta = json.loads((path / self._META).read_text())
+            meta = json.loads(self._read_text(path, self._META))
+            if not isinstance(meta, dict):
+                raise ValueError("meta.json is not an object")
             if (meta.get("format") != ARTIFACT_FORMAT_VERSION
                     or meta.get("epoch") != ENGINE_CACHE_EPOCH):
-                raise ValueError("format/epoch mismatch")
+                # Version skew is not corruption: the entry was valid
+                # for the code that wrote it.
+                self.misses += 1
+                return None
             artifacts = _artifacts_from_docs(
-                (path / self._TRACE).read_text(),
-                (path / self._CONFIG).read_text(),
-                json.loads((path / self._REPORT).read_text()),
+                self._read_text(path, self._TRACE),
+                self._read_text(path, self._CONFIG),
+                json.loads(self._read_text(path, self._REPORT)),
             )
             # Integrity audit: the trace on disk must still digest to
             # what was stored (guards against in-place edits of an
             # entry's files, which the content key cannot see).
             if trace_fingerprint(artifacts.trace) != meta.get("trace_fingerprint"):
                 raise ValueError("trace fingerprint mismatch")
-        except Exception:
-            # Absent, truncated, corrupt, or version-skewed entries are
-            # all equivalent to "not cached".
+        except (OSError, ValueError, TypeError, KeyError,
+                NSFlowError) as exc:
+            # NSFlowError covers the deserializers' own wrap types
+            # (TraceError, ConfigError): a stored entry whose payload no
+            # longer parses is corruption, whatever layer noticed first.
+            # Present but unreadable: corruption, never a silent miss.
             self.misses += 1
+            self.corrupt += 1
+            self._quarantine(key, reason=f"{type(exc).__name__}: {exc}")
             return None
         self.hits += 1
         return artifacts
+
+    def _quarantine(self, key: str, reason: str = "") -> None:
+        """Move a corrupt entry aside (best-effort) for post-mortem."""
+        src = self.path_for(key)
+        dest = self.root / self._QUARANTINE / key
+        try:
+            dest.parent.mkdir(parents=True, exist_ok=True)
+            if dest.exists():
+                shutil.rmtree(dest)
+            os.replace(src, dest)
+            (dest / "QUARANTINE.json").write_text(
+                json.dumps({"key": key, "reason": reason}, indent=2)
+            )
+        except OSError:
+            # An entry we cannot move is still a miss; the recompile's
+            # store() will overwrite it in place.
+            return
+        self.quarantined += 1
+
+    def quarantined_keys(self) -> list[str]:
+        """Keys currently sitting in the quarantine directory, sorted."""
+        qdir = self.root / self._QUARANTINE
+        if not qdir.is_dir():
+            return []
+        return sorted(p.name for p in qdir.iterdir() if p.is_dir())
 
     # -- write -----------------------------------------------------------------
 
@@ -400,29 +475,43 @@ class ArtifactStore:
         """
         final = self.path_for(key)
         final.parent.mkdir(parents=True, exist_ok=True)
-        tmp = pathlib.Path(tempfile.mkdtemp(
-            prefix=f".tmp-{key[:8]}-", dir=final.parent
-        ))
-        try:
-            meta = {
-                "format": ARTIFACT_FORMAT_VERSION,
-                "epoch": ENGINE_CACHE_EPOCH,
-                "key": key,
-                "trace_fingerprint": trace_fingerprint(design.trace),
-                "inputs": key_doc,
-            }
-            (tmp / self._META).write_text(json.dumps(meta, indent=2))
-            (tmp / self._TRACE).write_text(trace_to_json(design.trace))
-            (tmp / self._CONFIG).write_text(design_config_to_json(design.config))
-            (tmp / self._REPORT).write_text(
-                json.dumps(_report_doc(design), indent=2)
-            )
-            if final.exists():
-                shutil.rmtree(final)
-            os.replace(tmp, final)
-        except Exception:
-            shutil.rmtree(tmp, ignore_errors=True)
-            raise
+
+        def store_once() -> None:
+            # Each attempt gets a fresh tmp dir, so a failed write can
+            # be retried without ever exposing a half-entry.
+            tmp = pathlib.Path(tempfile.mkdtemp(
+                prefix=f".tmp-{key[:8]}-", dir=final.parent
+            ))
+            ok = False
+            try:
+                faultpoint("artifacts.store.write")
+                meta = {
+                    "format": ARTIFACT_FORMAT_VERSION,
+                    "epoch": ENGINE_CACHE_EPOCH,
+                    "key": key,
+                    "trace_fingerprint": trace_fingerprint(design.trace),
+                    "inputs": key_doc,
+                }
+                (tmp / self._META).write_text(json.dumps(meta, indent=2))
+                (tmp / self._TRACE).write_text(trace_to_json(design.trace))
+                (tmp / self._CONFIG).write_text(
+                    design_config_to_json(design.config)
+                )
+                (tmp / self._REPORT).write_text(
+                    json.dumps(_report_doc(design), indent=2)
+                )
+                if final.exists():
+                    shutil.rmtree(final)
+                os.replace(tmp, final)
+                ok = True
+            finally:
+                if not ok:
+                    shutil.rmtree(tmp, ignore_errors=True)
+
+        if self.retry is None:
+            store_once()
+        else:
+            self.retry.call(store_once, key=key)
         self.stores += 1
         return final
 
@@ -430,7 +519,9 @@ class ArtifactStore:
 
     @property
     def stats(self) -> StoreStats:
-        return StoreStats(hits=self.hits, misses=self.misses, stores=self.stores)
+        return StoreStats(hits=self.hits, misses=self.misses,
+                          stores=self.stores, corrupt=self.corrupt,
+                          quarantined=self.quarantined)
 
 
 @dataclass(frozen=True)
@@ -497,15 +588,17 @@ def fold_stores(
             tmp = pathlib.Path(tempfile.mkdtemp(
                 prefix=f".tmp-{key[:8]}-", dir=final.parent
             ))
+            folded = False
             try:
                 for item in sorted(src.iterdir()):
                     shutil.copy2(item, tmp / item.name)
                 if final.exists():
                     shutil.rmtree(final)
                 os.replace(tmp, final)
-            except Exception:
-                shutil.rmtree(tmp, ignore_errors=True)
-                raise
+                folded = True
+            finally:
+                if not folded:
+                    shutil.rmtree(tmp, ignore_errors=True)
             seen[key] = digest
             copied += 1
     missing: tuple[str, ...] = ()

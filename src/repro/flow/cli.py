@@ -96,6 +96,7 @@ from ..arch.resources import FPGA_DEVICES
 from ..baselines import baseline_devices
 from ..characterize import characterize_workload
 from ..errors import NSFlowError
+from ..faults import RetryPolicy, arm_faults
 from ..quant import MIXED_PRECISION_PRESETS
 from ..trace.serialize import trace_to_json
 from ..utils import MB
@@ -265,6 +266,24 @@ def build_parser() -> argparse.ArgumentParser:
                           "stale before other workers treat its owner as "
                           "crashed and re-issue the work (default: "
                           f"{DEFAULT_LEASE_TIMEOUT_S:.0f})")
+    swp.add_argument("--scenario-timeout", type=float, default=None,
+                     dest="scenario_timeout", metavar="SECONDS",
+                     help="per-scenario wall-clock budget; a scenario that "
+                          "blows it (even hung on a pool worker) is recorded "
+                          "as a retryable error row and the worker pool is "
+                          "reset (default: unlimited)")
+    swp.add_argument("--max-retries", type=int, default=2,
+                     dest="max_retries", metavar="N",
+                     help="retries for transient ledger/artifact I/O errors, "
+                          "with seeded-deterministic exponential backoff "
+                          "(0 = fail on the first error; default: 2)")
+    swp.add_argument("--faults", default=None, metavar="SPEC",
+                     help="arm deterministic fault injection for this run: "
+                          "';'-joined rules 'point:action[=arg][@nth]"
+                          "[xcount][!once]' with actions raise/delay/"
+                          "corrupt/short/kill (equivalent to REPRO_FAULTS; "
+                          "see repro.faults). Testing aid — injected "
+                          "faults exercise the recovery paths for real")
 
     mrg = sub.add_parser(
         "merge-ledgers",
@@ -420,7 +439,20 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         print("error: grid is empty after include/exclude filtering",
               file=sys.stderr)
         return 1
-    store = None if args.no_cache else ArtifactStore(args.cache_dir)
+    if args.max_retries < 0:
+        print(f"error: --max-retries must be >= 0, got {args.max_retries}",
+              file=sys.stderr)
+        return 1
+    if args.faults is not None:
+        try:
+            arm_faults(args.faults)
+        except NSFlowError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 1
+    retry = RetryPolicy(max_attempts=args.max_retries + 1)
+    store = (
+        None if args.no_cache else ArtifactStore(args.cache_dir, retry=retry)
+    )
     ledger = args.ledger
     if ledger is None and not args.no_cache:
         ledger = args.cache_dir / "sweep-ledger.jsonl"
@@ -446,6 +478,8 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
             status = "cached"
         elif outcome.reissued:
             status = "reissued"
+        elif outcome.recovered:
+            status = "recovered"
         else:
             status = "compiled"
         if outcome.ok:
@@ -464,6 +498,8 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         progress=progress, ledger=ledger, resume=args.resume,
         shard=args.shard, worker=worker,
         lease_timeout_s=args.lease_timeout,
+        scenario_timeout_s=args.scenario_timeout,
+        retry=retry,
     )
     print()
     print(sweep_results_table(result))

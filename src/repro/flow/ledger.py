@@ -55,7 +55,8 @@ from collections.abc import Sequence
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING
 
-from ..errors import MergeConflictError
+from ..errors import LedgerWriteError, MergeConflictError
+from ..faults import RetryPolicy, faultpoint
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from .sweep import ScenarioOutcome
@@ -102,6 +103,12 @@ class LedgerRecord:
     shard: str | None = None
     reissued: bool = False
     artifact_digest: str | None = None
+    #: The scenario was recompiled after its cached artifact entry
+    #: failed the read-time audit and was quarantined. Recovery work is
+    #: excluded from "fresh" accounting: the *first* pricing already
+    #: counted, so a recompile of the same bytes must not read as
+    #: double-pricing.
+    recovered: bool = False
 
     #: Fields a row must carry (with JSON-compatible types) to count as
     #: a record at all. A crash can fsync a *prefix* of a row that still
@@ -140,6 +147,7 @@ class LedgerRecord:
             shard=shard,
             reissued=outcome.reissued,
             artifact_digest=outcome.artifact_digest,
+            recovered=outcome.recovered,
         )
 
     @classmethod
@@ -220,13 +228,22 @@ class RunLedger:
     {'4f1f4c0e...'}
     """
 
-    def __init__(self, path: str | os.PathLike):
+    def __init__(self, path: str | os.PathLike,
+                 retry: RetryPolicy | None = None):
         self.path = pathlib.Path(path)
+        #: Policy for transient append/fsync failures; ``None`` disables
+        #: retries (every I/O error is immediately fatal).
+        self.retry = retry
 
     def exists(self) -> bool:
         return self.path.is_file()
 
     # -- write -----------------------------------------------------------------
+
+    def _retrying(self, fn):
+        if self.retry is None:
+            return fn()
+        return self.retry.call(fn, key=str(self.path))
 
     def _append_doc(self, doc: dict) -> None:
         """Durably append one line: a single ``O_APPEND`` write, then fsync.
@@ -237,17 +254,49 @@ class RunLedger:
         ledger can never interleave bytes mid-line. The fsync is the
         durability contract — the ledger's one job is surviving the
         sweep process dying at an arbitrary instant.
+
+        Failure handling is asymmetric around the point the row lands on
+        disk. A raised ``os.write`` wrote nothing, so the whole append
+        may be retried; a *short* write (ENOSPC) left a partial row, so
+        we terminate the garbage line (readers skip it) and raise
+        :class:`~repro.errors.LedgerWriteError` — never re-append, the
+        bytes are already there. Likewise an fsync failure is retried on
+        the same fd only, and exhausting those retries raises
+        ``LedgerWriteError`` (not ``OSError``) precisely so the outer
+        retry cannot re-append a row that is durably on disk already.
         """
         self.path.parent.mkdir(parents=True, exist_ok=True)
         data = (json.dumps(doc, sort_keys=True) + "\n").encode("utf-8")
-        fd = os.open(
-            self.path, os.O_WRONLY | os.O_APPEND | os.O_CREAT, 0o644
-        )
-        try:
-            os.write(fd, data)
-            os.fsync(fd)
-        finally:
-            os.close(fd)
+
+        def append_once() -> None:
+            payload = faultpoint("ledger.append.write", data)
+            fd = os.open(
+                self.path, os.O_WRONLY | os.O_APPEND | os.O_CREAT, 0o644
+            )
+            try:
+                written = os.write(fd, payload)
+                if written != len(data):
+                    try:
+                        os.write(fd, b"\n")
+                    except OSError:
+                        pass
+                    raise LedgerWriteError(
+                        f"short append to {self.path}: {written} of "
+                        f"{len(data)} bytes written (disk full?)"
+                    )
+                try:
+                    self._retrying(
+                        lambda: (faultpoint("ledger.append.fsync"),
+                                 os.fsync(fd))
+                    )
+                except OSError as exc:
+                    raise LedgerWriteError(
+                        f"fsync of {self.path} failed after retries: {exc}"
+                    ) from exc
+            finally:
+                os.close(fd)
+
+        self._retrying(append_once)
 
     def append(self, record: LedgerRecord | ClaimRecord) -> None:
         """Durably append one result or claim record."""
@@ -377,6 +426,7 @@ class RunLedger:
 
     def heartbeat(self, claim: ClaimRecord, now: float | None = None) -> None:
         """Refresh a held claim's lease by appending a new timestamp."""
+        faultpoint("ledger.heartbeat")
         self.append(dataclasses.replace(
             claim, ts=time.time() if now is None else now
         ))
@@ -505,6 +555,7 @@ def merge_ledgers(
             fresh=sum(
                 1 for r in records
                 if r.status == "ok" and not r.cached and not r.resumed
+                and not r.recovered
             ),
             claims=len(claims),
             reissued=sum(1 for r in records if r.reissued),
@@ -546,8 +597,11 @@ def merge_ledgers(
                 latency_ms=None, artifact_digest=None, error=pick.error,
             )
         result.rows.append(row)
+        # Recovered rows (recompiles after corruption quarantine) are
+        # not fresh pricings: the digest check above already proved they
+        # reproduced the original bytes.
         fresh = [
-            r for r in ok if not r.cached and not r.resumed
+            r for r in ok if not r.cached and not r.resumed and not r.recovered
         ]
         if len(fresh) > 1:
             result.double_priced.append(key)

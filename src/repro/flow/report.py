@@ -216,6 +216,8 @@ def sweep_results_table(result: "SweepResult", title: str | None = None) -> str:
                 source = "cache"
             elif o.reissued:
                 source = "reissue"
+            elif o.recovered:
+                source = "recover"
             else:
                 source = "fresh"
             rows.append([
@@ -350,6 +352,33 @@ def sweep_summary(result: "SweepResult") -> str:
         lines.append(
             f"Artifact cache: {s.hits} hits / {s.misses} misses / "
             f"{s.stores} stored"
+        )
+        if s.corrupt:
+            lines.append(
+                f"Corruption: {s.corrupt} corrupt entries detected, "
+                f"{s.quarantined} quarantined, "
+                f"{result.n_recovered} recompiled"
+            )
+    if result.n_timeouts:
+        lines.append(
+            f"Timeouts: {result.n_timeouts} scenarios exceeded the "
+            "wall-clock budget (retryable via --resume)"
+        )
+    if result.io_retries:
+        lines.append(
+            f"Transient I/O: {result.io_retries} retried operations"
+        )
+    if result.fault_fires:
+        lines.append(
+            "Injected faults: " + ", ".join(
+                f"{point} x{count}"
+                for point, count in sorted(result.fault_fires.items())
+            )
+        )
+    if result.heartbeat_lost:
+        lines.append(
+            "WARNING: claim heartbeat lost mid-sweep — this worker "
+            "stopped claiming new scenarios"
         )
     lines.append(
         f"Fresh DSE evaluations: {result.total_evaluations:,} candidate "

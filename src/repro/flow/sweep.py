@@ -39,6 +39,7 @@ from __future__ import annotations
 import fnmatch
 import os
 import re
+import signal
 import threading
 import time
 import traceback as traceback_module
@@ -55,7 +56,14 @@ from ..dse.engine import (
     DsePool,
 )
 from ..dse.timing import StageStat, stage_timings_since, timings_snapshot
-from ..errors import ConfigError
+from ..errors import ConfigError, ScenarioTimeoutError
+from ..faults import (
+    DEFAULT_RETRY_POLICY,
+    RetryPolicy,
+    faultpoint,
+    fire_counts,
+    retry_count,
+)
 from ..model.backend import EVALUATION_BACKENDS
 from ..model.cache import counters_snapshot, fresh_evaluations_since
 from ..quant import MIXED_PRECISION_PRESETS, MixedPrecisionConfig
@@ -433,6 +441,13 @@ class ScenarioOutcome:
     reissued: bool = False
     holder: str | None = None
     artifact_digest: str | None = None
+    #: The store held this scenario's entry but it failed the read-time
+    #: audit and was quarantined; the artifacts here are a recompile.
+    #: Excluded from "fresh" accounting in distributed merges.
+    recovered: bool = False
+    #: The scenario's error is a wall-clock timeout (retryable on
+    #: ``--resume`` exactly like any other error).
+    timed_out: bool = False
 
     @property
     def ok(self) -> bool:
@@ -467,6 +482,14 @@ class SweepResult:
     stage_timings: dict[str, StageStat] = field(default_factory=dict)
     shard: str | None = None
     worker: str | None = None
+    #: The claim-lease heartbeat failed mid-sweep: this worker stopped
+    #: claiming new work (remaining claim-protocol scenarios deferred).
+    heartbeat_lost: bool = False
+    #: Transient ledger/artifact I/O failures absorbed by retries.
+    io_retries: int = 0
+    #: ``point:action`` fire counts of any armed fault plan (this
+    #: process only; pool workers log to the shared fires.log instead).
+    fault_fires: dict[str, int] = field(default_factory=dict)
 
     @property
     def n_scenarios(self) -> int:
@@ -498,6 +521,16 @@ class SweepResult:
     def n_reissued(self) -> int:
         """Scenarios re-priced after a crashed worker's lease expired."""
         return sum(1 for o in self.outcomes if o.reissued)
+
+    @property
+    def n_timeouts(self) -> int:
+        """Scenarios killed by the per-scenario wall-clock budget."""
+        return sum(1 for o in self.outcomes if o.timed_out)
+
+    @property
+    def n_recovered(self) -> int:
+        """Scenarios recompiled after their cached entry was quarantined."""
+        return sum(1 for o in self.outcomes if o.recovered)
 
     @property
     def total_evaluations(self) -> int:
@@ -552,20 +585,31 @@ class _ClaimHeartbeat:
     single atomic ``O_APPEND`` writes, safe alongside the main thread's
     own ledger writes. Leases shorter than :data:`MIN_HEARTBEAT_LEASE_S`
     skip the thread — they exist for tests that *want* instant expiry.
+
+    A heartbeat append that fails is **surfaced, not swallowed**: the
+    thread sets :attr:`lost` and exits. A silently dead heartbeat would
+    let the claim's lease expire while its owner keeps pricing — another
+    worker would re-issue the scenario and the exactly-once accounting
+    would read it as double-priced. The sweep loop checks :attr:`lost`
+    after every scenario and stops claiming new work once set.
     """
 
     MIN_HEARTBEAT_LEASE_S = 2.0
 
     def __init__(
-        self, ledger: RunLedger, claim: ClaimRecord, lease_timeout_s: float
+        self, ledger: RunLedger, claim: ClaimRecord, lease_timeout_s: float,
+        interval_s: float | None = None,
     ):
         self._ledger = ledger
         self._claim = claim
         self._stop = threading.Event()
+        self._lost = threading.Event()
         self._thread: threading.Thread | None = None
         if lease_timeout_s >= self.MIN_HEARTBEAT_LEASE_S:
+            if interval_s is None:
+                interval_s = lease_timeout_s / 3.0
             self._thread = threading.Thread(
-                target=self._run, args=(lease_timeout_s / 3.0,), daemon=True
+                target=self._run, args=(interval_s,), daemon=True
             )
             self._thread.start()
 
@@ -573,13 +617,62 @@ class _ClaimHeartbeat:
         while not self._stop.wait(interval_s):
             try:
                 self._ledger.heartbeat(self._claim)
-            except OSError:  # pragma: no cover - ledger unlinked mid-run
+            except Exception:
+                # The lease can no longer be kept fresh (ledger unlinked,
+                # disk full, injected fault): flag it so the owner stops
+                # claiming work it might not be able to keep.
+                self._lost.set()
                 return
+
+    @property
+    def lost(self) -> bool:
+        """True once a heartbeat append has failed (lease going stale)."""
+        return self._lost.is_set()
 
     def stop(self) -> None:
         self._stop.set()
         if self._thread is not None:
             self._thread.join(timeout=5.0)
+
+
+class _ScenarioTimeout:
+    """SIGALRM-based per-scenario wall-clock guard.
+
+    Interrupts whatever the scenario is doing — including a ``map``
+    blocked on a hung pool worker — by raising
+    :class:`~repro.errors.ScenarioTimeoutError` in the main thread.
+    Silently inert when no budget is set, on platforms without
+    ``SIGALRM``, or off the main thread (``signal`` handlers can only
+    be installed there); the lease protocol remains the cross-worker
+    backstop in those cases.
+    """
+
+    def __init__(self, seconds: float | None):
+        self.seconds = seconds
+        self._armed = False
+        self._prev = None
+
+    def _on_alarm(self, signum, frame):
+        raise ScenarioTimeoutError(
+            f"scenario exceeded its wall-clock budget of {self.seconds:g} s"
+        )
+
+    def __enter__(self) -> "_ScenarioTimeout":
+        if (
+            self.seconds
+            and self.seconds > 0
+            and hasattr(signal, "SIGALRM")
+            and threading.current_thread() is threading.main_thread()
+        ):
+            self._prev = signal.signal(signal.SIGALRM, self._on_alarm)
+            signal.setitimer(signal.ITIMER_REAL, self.seconds)
+            self._armed = True
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        if self._armed:
+            signal.setitimer(signal.ITIMER_REAL, 0.0)
+            signal.signal(signal.SIGALRM, self._prev)
 
 
 def run_sweep(
@@ -595,6 +688,8 @@ def run_sweep(
     shard: str | tuple[int, int] | None = None,
     worker: str | None = None,
     lease_timeout_s: float = DEFAULT_LEASE_TIMEOUT_S,
+    scenario_timeout_s: float | None = None,
+    retry: RetryPolicy | None = None,
 ) -> SweepResult:
     """Compile every scenario of ``grid``, reusing cached artifacts.
 
@@ -655,19 +750,37 @@ def run_sweep(
     lease_timeout_s:
         How stale a claim's heartbeat may grow before its owner is
         presumed dead and the scenario is re-issued.
+    scenario_timeout_s:
+        Optional per-scenario wall-clock budget. A scenario that blows
+        it — including one blocked on a hung pool worker — is recorded
+        as a retryable ``error`` row (``timed_out=True``) and the pool's
+        workers are hard-reset so the hang cannot leak into the next
+        scenario. SIGALRM-based: only active on the main thread of
+        platforms that have it.
+    retry:
+        :class:`~repro.faults.RetryPolicy` for transient ledger I/O.
+        ``None`` (default) uses :data:`~repro.faults.
+        DEFAULT_RETRY_POLICY`; pass ``RetryPolicy(max_attempts=1)`` to
+        make every I/O error immediately fatal. Applies when ``ledger``
+        is given as a *path* (an already-constructed :class:`RunLedger`
+        or :class:`ArtifactStore` keeps whatever policy it was built
+        with).
 
     Failure isolation: any exception from one scenario (trace extraction,
     DSE, backend, artifact I/O) is recorded on its outcome — message and
     full traceback — and streamed to the ledger; remaining scenarios
-    still run.
+    still run. A lost claim heartbeat stops this worker from *claiming*
+    further scenarios (they are deferred to healthier workers) — see
+    :class:`_ClaimHeartbeat`.
     """
     if partition_search not in PARTITION_SEARCH_MODES:
         raise ConfigError(
             f"partition_search must be one of "
             f"{', '.join(PARTITION_SEARCH_MODES)}, got {partition_search!r}"
         )
+    retry_policy = DEFAULT_RETRY_POLICY if retry is None else retry
     if ledger is not None and not isinstance(ledger, RunLedger):
-        ledger = RunLedger(ledger)
+        ledger = RunLedger(ledger, retry=retry_policy)
     if resume and ledger is None:
         raise ConfigError("resume=True requires a run ledger")
     if resume and store is None:
@@ -686,15 +799,25 @@ def run_sweep(
     result = SweepResult(shard=shard_label, worker=worker)
     snapshot = counters_snapshot()
     timing_snapshot = timings_snapshot()
+    retries_before = retry_count()
+    fires_before = fire_counts()
     t_start = time.perf_counter()
     with DsePool(jobs) as pool:
         for spec in specs:
             t0 = time.perf_counter()
             key = ""
+            recovered = False
             try:
                 key = spec.cache_key()
                 resumed = key in completed
+                corrupt_before = store.corrupt if store is not None else 0
                 cached = store.load(key) if store is not None else None
+                # A load that tripped the corruption audit quarantined
+                # the entry; the recompile below is *recovery*, not a
+                # fresh pricing (merge accounting must not double-count).
+                recovered = (
+                    store is not None and store.corrupt > corrupt_before
+                )
                 if cached is not None:
                     outcome = ScenarioOutcome(
                         spec=spec, key=key, cached=True, artifacts=cached,
@@ -714,6 +837,21 @@ def run_sweep(
                     resumed = False
                     reissued = False
                     heartbeat = None
+                    if claims_active and result.heartbeat_lost:
+                        # Our previous claim's heartbeat died: this
+                        # worker can no longer promise to keep leases
+                        # fresh, so it must not claim new work — a
+                        # healthy worker (or a retry) will pick it up.
+                        outcome = ScenarioOutcome(
+                            spec=spec, key=key, cached=False,
+                            artifacts=None, error=None, evaluations=0,
+                            elapsed_s=time.perf_counter() - t0,
+                            deferred=True,
+                        )
+                        result.outcomes.append(outcome)
+                        if progress is not None:
+                            progress(outcome)
+                        continue
                     if claims_active:
                         decision = ledger.acquire(
                             spec.scenario_id, key, worker,
@@ -745,9 +883,11 @@ def run_sweep(
                             lease_timeout_s,
                         )
                     try:
-                        design, artifacts = _compile_scenario(
-                            spec, pool, partition_search, mf_slack
-                        )
+                        with _ScenarioTimeout(scenario_timeout_s):
+                            faultpoint("sweep.compile")
+                            design, artifacts = _compile_scenario(
+                                spec, pool, partition_search, mf_slack
+                            )
                         digest = None
                         if store is not None:
                             store.store(key, design, spec.key_doc())
@@ -755,21 +895,30 @@ def run_sweep(
                     finally:
                         if heartbeat is not None:
                             heartbeat.stop()
+                            if heartbeat.lost:
+                                result.heartbeat_lost = True
                     outcome = ScenarioOutcome(
                         spec=spec, key=key, cached=False, artifacts=artifacts,
                         error=None,
                         evaluations=design.dse.phase1.candidates_evaluated,
                         elapsed_s=time.perf_counter() - t0,
                         resumed=resumed, reissued=reissued,
-                        artifact_digest=digest,
+                        artifact_digest=digest, recovered=recovered,
                     )
             except Exception as exc:   # noqa: BLE001 - isolation is the point
+                timed_out = isinstance(exc, ScenarioTimeoutError)
                 outcome = ScenarioOutcome(
                     spec=spec, key=key, cached=False, artifacts=None,
                     error=f"{type(exc).__name__}: {exc}", evaluations=0,
                     elapsed_s=time.perf_counter() - t0,
                     traceback=traceback_module.format_exc(),
+                    timed_out=timed_out,
                 )
+                if timed_out:
+                    # The interrupted map may have left work running (or
+                    # a worker hung) on the pool; hard-reset the fleet so
+                    # the next scenario starts on healthy workers.
+                    pool.reset()
             result.outcomes.append(outcome)
             if ledger is not None:
                 ledger.append(LedgerRecord.from_outcome(
@@ -784,4 +933,10 @@ def run_sweep(
     result.elapsed_s = time.perf_counter() - t_start
     result.stage_timings = stage_timings_since(timing_snapshot)
     result.store_stats = store.stats if store is not None else None
+    result.io_retries = retry_count() - retries_before
+    result.fault_fires = {
+        point: n - fires_before.get(point, 0)
+        for point, n in fire_counts().items()
+        if n - fires_before.get(point, 0) > 0
+    }
     return result

@@ -168,3 +168,91 @@ class TestBackendKeying:
         art = store.load(key)
         assert art.report.backend == compiled.dse.backend
         assert art.report.backend.name == "analytic"
+
+
+class TestCorruptionQuarantine:
+    """Regression: corruption is counted and preserved, never silent.
+
+    ``load`` historically swallowed every read failure as a plain miss,
+    destroying the evidence on the next ``store``. A present-but-broken
+    entry must now bump the ``corrupt`` counter and move to
+    ``<root>/quarantine/<key>`` for post-mortem.
+    """
+
+    def test_corrupt_entry_is_counted_and_quarantined(
+        self, tmp_path, compiled
+    ):
+        store = ArtifactStore(tmp_path)
+        key = _key()
+        store.store(key, compiled, {})
+        (store.path_for(key) / "report.json").write_text("{ truncated")
+        assert store.load(key) is None
+        assert store.stats.corrupt == 1
+        assert store.stats.quarantined == 1
+        assert store.stats.misses == 1
+        # The broken entry moved aside intact, with a machine-readable
+        # reason, and its slot is free for the recompile.
+        qdir = tmp_path / "quarantine" / key
+        assert (qdir / "report.json").read_text() == "{ truncated"
+        tag = json.loads((qdir / "QUARANTINE.json").read_text())
+        assert tag["key"] == key and tag["reason"]
+        assert not store.path_for(key).exists()
+        assert store.quarantined_keys() == [key]
+
+    def test_tampered_trace_reason_names_the_audit(self, tmp_path, compiled):
+        from repro.trace.serialize import trace_from_json
+
+        store = ArtifactStore(tmp_path)
+        key = _key()
+        store.store(key, compiled, {})
+        trace_path = store.path_for(key) / "trace.json"
+        doc = json.loads(trace_path.read_text())
+        doc["ops"] = doc["ops"][:-1]          # valid JSON, wrong content
+        trace_path.write_text(json.dumps(doc))
+        assert trace_from_json(trace_path.read_text()) is not None
+        assert store.load(key) is None
+        tag = json.loads(
+            (tmp_path / "quarantine" / key / "QUARANTINE.json").read_text()
+        )
+        assert "fingerprint" in tag["reason"]
+
+    def test_version_skew_is_not_corruption(self, tmp_path, compiled):
+        store = ArtifactStore(tmp_path)
+        key = _key()
+        path = store.store(key, compiled, {})
+        meta = json.loads((path / "meta.json").read_text())
+        meta["format"] = ARTIFACT_FORMAT_VERSION + 1
+        (path / "meta.json").write_text(json.dumps(meta))
+        assert store.load(key) is None
+        assert store.stats.corrupt == 0
+        assert store.stats.quarantined == 0
+        assert store.quarantined_keys() == []
+
+    def test_absent_entry_is_a_plain_miss(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        assert store.load(_key()) is None
+        assert store.stats.misses == 1 and store.stats.corrupt == 0
+
+    def test_store_after_quarantine_restores_the_entry(
+        self, tmp_path, compiled
+    ):
+        store = ArtifactStore(tmp_path)
+        key = _key()
+        store.store(key, compiled, {})
+        (store.path_for(key) / "design_config.json").write_text("garbage")
+        assert store.load(key) is None
+        store.store(key, compiled, {})
+        assert store.load(key) is not None
+        # The quarantined evidence survives the recompile's store.
+        assert store.quarantined_keys() == [key]
+
+    def test_requarantine_replaces_stale_evidence(self, tmp_path, compiled):
+        store = ArtifactStore(tmp_path)
+        key = _key()
+        for marker in ("first", "second"):
+            store.store(key, compiled, {})
+            (store.path_for(key) / "report.json").write_text(marker)
+            assert store.load(key) is None
+        assert store.stats.corrupt == 2
+        qreport = tmp_path / "quarantine" / key / "report.json"
+        assert qreport.read_text() == "second"

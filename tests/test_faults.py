@@ -1,0 +1,267 @@
+"""Unit tests for the deterministic failpoint registry and RetryPolicy."""
+
+import os
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro import faults
+from repro.errors import ConfigError, InjectedFault
+from repro.faults import (
+    FaultPlan,
+    FaultRule,
+    RetryPolicy,
+    arm_faults,
+    disarm_faults,
+    faultpoint,
+    fire_counts,
+    injected_faults,
+    parse_faults,
+    retry_count,
+)
+
+
+class TestParseFaults:
+    def test_minimal_rule_defaults(self):
+        (rule,) = parse_faults("ledger.append.fsync:raise")
+        assert rule == FaultRule(point="ledger.append.fsync", action="raise")
+        assert (rule.nth, rule.count, rule.arg, rule.once) == (1, 1, 0.0, False)
+
+    def test_full_grammar(self):
+        (rule,) = parse_faults("sweep.compile:delay=1.5@3x2!once")
+        assert rule.point == "sweep.compile"
+        assert rule.action == "delay"
+        assert rule.arg == 1.5
+        assert rule.nth == 3
+        assert rule.count == 2
+        assert rule.once
+
+    def test_star_count_is_unbounded(self):
+        (rule,) = parse_faults("ledger.*:raise@2x*")
+        assert rule.count == 0
+        assert rule.in_window(2) and rule.in_window(1000)
+        assert not rule.in_window(1)
+
+    def test_multiple_rules_and_blank_segments(self):
+        rules = parse_faults("a.b:raise; ;c.d:kill@5;")
+        assert [r.point for r in rules] == ["a.b", "c.d"]
+
+    @pytest.mark.parametrize("spec", [
+        "no-action", "x:explode", "x:raise@0", "x:raise@-1", "x:raisex0",
+        "x:delay=abc", "x:raise!twice", ":raise", "x raise",
+    ])
+    def test_bad_specs_rejected(self, spec):
+        with pytest.raises(ConfigError):
+            parse_faults(spec)
+
+    def test_spec_round_trips(self):
+        for spec in (
+            "ledger.append.fsync:raise@2",
+            "sweep.compile:delay=1.5@3!once",
+            "x.y:kill@5x2",
+            "ledger.*:raisex*",
+            "artifacts.load.read:corrupt",
+        ):
+            (rule,) = parse_faults(spec)
+            assert rule.spec() == spec
+            assert parse_faults(rule.spec()) == (rule,)
+
+    def test_glob_matching(self):
+        (rule,) = parse_faults("ledger.*:raise")
+        assert rule.matches("ledger.append.fsync")
+        assert rule.matches("ledger.heartbeat")
+        assert not rule.matches("artifacts.load.read")
+
+
+class TestFaultpoint:
+    def test_disarmed_passes_data_through(self):
+        disarm_faults()
+        payload = b"untouched"
+        assert faultpoint("anything", payload) is payload
+        assert faultpoint("anything") is None
+
+    def test_raise_fires_at_exactly_the_nth_hit(self):
+        with injected_faults("p.q:raise@2"):
+            faultpoint("p.q")                      # hit 1: no fire
+            with pytest.raises(InjectedFault):
+                faultpoint("p.q")                  # hit 2: fires
+            faultpoint("p.q")                      # hit 3: window closed
+
+    def test_injected_fault_travels_oserror_paths(self):
+        with injected_faults("p.q:raise"):
+            with pytest.raises(OSError):
+                faultpoint("p.q")
+
+    def test_corrupt_flips_one_middle_byte(self):
+        with injected_faults("p.q:corrupt"):
+            data = b"0123456789"
+            out = faultpoint("p.q", data)
+        assert len(out) == len(data)
+        assert out != data
+        assert out[5] == data[5] ^ 0xFF
+        assert out[:5] == data[:5] and out[6:] == data[6:]
+
+    def test_short_halves_the_payload(self):
+        with injected_faults("p.q:short"):
+            assert faultpoint("p.q", b"0123456789") == b"01234"
+
+    def test_hit_counters_are_per_point(self):
+        with injected_faults("a.*:raise@2") as plan:
+            faultpoint("a.x")
+            faultpoint("a.y")                      # own counter: hit 1
+            assert plan.hits == {"a.x": 1, "a.y": 1}
+            with pytest.raises(InjectedFault):
+                faultpoint("a.x")
+
+    def test_fire_counts_scoped_to_context(self):
+        with injected_faults("p.q:raisex*"):
+            for _ in range(3):
+                with pytest.raises(InjectedFault):
+                    faultpoint("p.q")
+            assert fire_counts() == {"p.q:raise": 3}
+        disarm_faults()
+        assert fire_counts() == {}
+
+    def test_once_is_global_across_plans(self, tmp_path):
+        """Two plans sharing a state dir model two processes: the
+        ``!once`` sentinel lets exactly one of them fire."""
+        spec = "p.q:raise!once"
+        first = FaultPlan(parse_faults(spec), state_dir=tmp_path)
+        second = FaultPlan(parse_faults(spec), state_dir=tmp_path)
+        with pytest.raises(InjectedFault):
+            first.hit("p.q")
+        assert second.hit("p.q") is None           # sentinel already claimed
+        assert first.fired == {"p.q:raise": 1}
+        assert second.fired == {}
+
+    def test_fires_are_logged_to_state_dir(self, tmp_path):
+        with injected_faults("p.q:raise", state_dir=tmp_path):
+            with pytest.raises(InjectedFault):
+                faultpoint("p.q")
+        line = (tmp_path / "fires.log").read_text().strip()
+        assert line == f"p.q:raise:{os.getpid()}"
+
+    def test_env_spec_is_parsed_lazily(self, monkeypatch):
+        monkeypatch.setenv(faults.FAULTS_ENV, "p.q:raise")
+        monkeypatch.setattr(faults, "_PLAN", faults._UNSET)
+        with pytest.raises(InjectedFault):
+            faultpoint("p.q")
+        disarm_faults()
+
+    def test_arm_faults_rejects_bad_spec(self):
+        with pytest.raises(ConfigError):
+            arm_faults("p.q:explode")
+
+
+# -- RetryPolicy -----------------------------------------------------------
+
+
+policies = st.builds(
+    RetryPolicy,
+    max_attempts=st.integers(min_value=1, max_value=6),
+    base_delay_s=st.floats(min_value=0.0, max_value=0.1),
+    max_delay_s=st.floats(min_value=0.1, max_value=2.0),
+    jitter=st.floats(min_value=0.0, max_value=1.0),
+    seed=st.integers(min_value=0, max_value=2**31),
+)
+keys = st.text(max_size=32)
+
+
+class TestRetryPolicySchedule:
+    @settings(max_examples=50, deadline=None)
+    @given(policy=policies, key=keys)
+    def test_schedule_is_bounded(self, policy, key):
+        schedule = policy.backoff_schedule(key)
+        assert len(schedule) == policy.max_attempts - 1
+        for delay in schedule:
+            assert 0.0 <= delay <= policy.max_delay_s
+
+    @settings(max_examples=50, deadline=None)
+    @given(policy=policies, key=keys)
+    def test_schedule_is_deterministic_per_seed_and_key(self, policy, key):
+        twin = RetryPolicy(
+            max_attempts=policy.max_attempts,
+            base_delay_s=policy.base_delay_s,
+            max_delay_s=policy.max_delay_s,
+            jitter=policy.jitter,
+            seed=policy.seed,
+        )
+        assert policy.backoff_schedule(key) == twin.backoff_schedule(key)
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        max_attempts=st.integers(min_value=2, max_value=8),
+        base=st.floats(min_value=0.001, max_value=0.1),
+    )
+    def test_without_jitter_delays_double_until_the_cap(
+        self, max_attempts, base
+    ):
+        policy = RetryPolicy(max_attempts=max_attempts, base_delay_s=base,
+                             max_delay_s=1.0, jitter=0.0)
+        schedule = policy.backoff_schedule("k")
+        for i, delay in enumerate(schedule):
+            assert delay == pytest.approx(min(1.0, base * 2**i))
+        assert schedule == tuple(sorted(schedule))
+
+    def test_different_keys_get_different_jitter(self):
+        policy = RetryPolicy(max_attempts=4, jitter=0.5, seed=7)
+        assert policy.backoff_schedule("a") != policy.backoff_schedule("b")
+
+    @pytest.mark.parametrize("kwargs", [
+        {"max_attempts": 0},
+        {"jitter": 1.5},
+        {"jitter": -0.1},
+        {"base_delay_s": 0.5, "max_delay_s": 0.1},
+        {"base_delay_s": -1.0},
+    ])
+    def test_invalid_policies_rejected(self, kwargs):
+        with pytest.raises(ConfigError):
+            RetryPolicy(**kwargs)
+
+
+class TestRetryPolicyCall:
+    def test_transient_failures_are_absorbed(self):
+        policy = RetryPolicy(max_attempts=3, base_delay_s=0.0, max_delay_s=0.0)
+        failures = iter([OSError("flaky"), OSError("flaky")])
+        slept = []
+
+        def fn():
+            exc = next(failures, None)
+            if exc is not None:
+                raise exc
+            return "ok"
+
+        before = retry_count()
+        assert policy.call(fn, key="k", sleep=slept.append) == "ok"
+        assert retry_count() - before == 2
+        assert tuple(slept) == policy.backoff_schedule("k")
+
+    def test_exhaustion_reraises_the_last_failure(self):
+        policy = RetryPolicy(max_attempts=2, base_delay_s=0.0, max_delay_s=0.0)
+
+        def fn():
+            raise OSError("persistent")
+
+        with pytest.raises(OSError, match="persistent"):
+            policy.call(fn, sleep=lambda s: None)
+
+    def test_non_retryable_exceptions_propagate_immediately(self):
+        policy = RetryPolicy(max_attempts=5, base_delay_s=0.0, max_delay_s=0.0)
+        calls = []
+
+        def fn():
+            calls.append(1)
+            raise ValueError("not transient")
+
+        before = retry_count()
+        with pytest.raises(ValueError):
+            policy.call(fn, sleep=lambda s: None)
+        assert len(calls) == 1
+        assert retry_count() == before
+
+    def test_single_attempt_policy_never_retries(self):
+        policy = RetryPolicy(max_attempts=1)
+        with pytest.raises(OSError):
+            policy.call(lambda: (_ for _ in ()).throw(OSError("x")),
+                        sleep=lambda s: None)
+        assert policy.backoff_schedule() == ()
