@@ -343,6 +343,11 @@ class DsePool:
             else executor
         )
         self._closed = False
+        #: Lifetime count of ``map`` calls served. A long-lived owner
+        #: (the ``repro serve`` warm server) exposes this to prove the
+        #: warm cache-hit path never touched the pool: a request served
+        #: from the artifact store leaves the counter unchanged.
+        self.maps = 0
 
     def map(self, fn, items: Sequence, chunksize: int | None = None) -> list:
         """Apply ``fn`` over ``items`` on the pool's executor backend.
@@ -359,6 +364,7 @@ class DsePool:
             raise DSEError(f"chunksize must be >= 1, got {chunksize}")
         if chunksize is None:
             chunksize = _auto_chunksize(len(items), self.jobs)
+        self.maps += 1
         return self._executor.map(fn, items, chunksize=chunksize)
 
     def close(self) -> None:

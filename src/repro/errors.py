@@ -86,6 +86,16 @@ class ScenarioTimeoutError(NSFlowError):
     """
 
 
+class ServeError(NSFlowError):
+    """Talking to (or running) the ``repro serve`` service failed.
+
+    Raised by the thin client for connection failures and non-2xx
+    responses (carrying the server's error message), and by the
+    server-thread test/bench harness when the serve loop crashes or
+    fails to drain.
+    """
+
+
 class InjectedFault(NSFlowError, OSError):
     """An error raised by an armed failpoint (see :mod:`repro.faults`).
 

@@ -102,10 +102,13 @@ from ..trace.serialize import trace_to_json
 from ..utils import MB
 from ..workloads import available_workloads, build_workload
 from .artifacts import ArtifactStore, fold_stores
+from .client import DEFAULT_POLL_S, ServeClient
 from .ledger import RunLedger, merge_ledgers
 from .nsflow import NSFlow
 from .report import (
     format_table,
+    job_results_table,
+    job_summary,
     latency_breakdown_table,
     merge_summary_table,
     pareto_frontier_table,
@@ -284,6 +287,102 @@ def build_parser() -> argparse.ArgumentParser:
                           "corrupt/short/kill (equivalent to REPRO_FAULTS; "
                           "see repro.faults). Testing aid — injected "
                           "faults exercise the recovery paths for real")
+    swp.add_argument("--server", default=None, metavar="URL",
+                     help="submit the grid to a running 'repro serve' "
+                          "instance instead of compiling locally "
+                          "(equivalent to 'repro submit'; local-execution "
+                          "flags like --jobs/--cache-dir are ignored)")
+
+    srv = sub.add_parser(
+        "serve",
+        help="run the warm-process DSE service: persistent pool + caches, "
+             "request coalescing, streamed sweep jobs, graceful drain",
+    )
+    srv.add_argument("--host", default="127.0.0.1",
+                     help="interface to bind (default: 127.0.0.1)")
+    srv.add_argument("--port", type=int, default=8177,
+                     help="TCP port to bind (0 = ephemeral; the resolved "
+                          "port is printed on the ready line)")
+    srv.add_argument("--cache-dir", type=pathlib.Path,
+                     default=pathlib.Path(".nsflow-cache"),
+                     help="artifact-store directory shared by every request; "
+                          "job ledgers live under <cache-dir>/jobs/ "
+                          "(default: .nsflow-cache)")
+    srv.add_argument("--jobs", type=int, default=1,
+                     help="worker-process budget of the server's one "
+                          "persistent DSE pool (1 = serial)")
+    srv.add_argument("--partition-search", choices=PARTITION_SEARCH_MODES,
+                     default="auto", dest="partition_search",
+                     help="Phase I partition-search strategy for every "
+                          "request (results are bit-identical across all "
+                          "choices)")
+    srv.add_argument("--mf-slack", type=float, default=0.0, dest="mf_slack",
+                     help="multi-fidelity pruning slack for multifidelity "
+                          "scenarios (result-preserving at any value)")
+    srv.add_argument("--max-retries", type=int, default=2,
+                     dest="max_retries", metavar="N",
+                     help="retries for transient ledger/artifact I/O "
+                          "(default: 2)")
+    srv.add_argument("--lease-timeout", type=float,
+                     default=DEFAULT_LEASE_TIMEOUT_S, dest="lease_timeout",
+                     help="claim-lease timeout for server-side sweep jobs "
+                          f"(default: {DEFAULT_LEASE_TIMEOUT_S:.0f})")
+    srv.add_argument("--worker-id", default=None, dest="worker_id",
+                     help="ledger worker id for server-side sweeps "
+                          "(default: serve@<hostname> — deliberately stable "
+                          "across restarts so a restarted server re-owns "
+                          "its own stale claims instead of waiting out the "
+                          "lease)")
+    srv.add_argument("--faults", default=None, metavar="SPEC",
+                     help="arm deterministic fault injection in the server "
+                          "process (same grammar as 'sweep --faults'; "
+                          "testing aid)")
+
+    sbm = sub.add_parser(
+        "submit",
+        help="submit a sweep grid to a running 'repro serve' instance and "
+             "stream its per-scenario progress",
+    )
+    sbm.add_argument("--server", required=True, metavar="URL",
+                     help="base URL of the serve instance, e.g. "
+                          "http://127.0.0.1:8177")
+    sbm.add_argument("--workloads", default=",".join(available_workloads()),
+                     help="comma-separated workload names; entries may be "
+                          "seed-range axes like 'synth:0-99'. Default: "
+                          "every registered workload")
+    sbm.add_argument("--devices", default="u250",
+                     help="comma-separated device names "
+                          f"(available: {', '.join(sorted(_DEVICES))})")
+    sbm.add_argument("--precisions", default="MP",
+                     help="comma-separated mixed-precision presets "
+                          f"(available: {', '.join(MIXED_PRECISION_PRESETS)})")
+    sbm.add_argument("--loops", default="1",
+                     help="comma-separated inference-loop counts to fuse")
+    sbm.add_argument("--iter-max", type=int, default=8,
+                     help="Phase II iteration cap for every scenario")
+    sbm.add_argument("--include", action="append", default=[], metavar="PAT",
+                     help="keep only scenario ids matching this fnmatch "
+                          "pattern (repeatable)")
+    sbm.add_argument("--exclude", action="append", default=[], metavar="PAT",
+                     help="drop scenario ids matching this fnmatch pattern "
+                          "(repeatable)")
+    sbm.add_argument("--backends", default="analytic",
+                     help="comma-separated evaluation backends as a grid "
+                          f"axis (available: {', '.join(EVALUATION_BACKENDS)})")
+    sbm.add_argument("--search", default="exhaustive", dest="searches",
+                     help="comma-separated Phase I strategies as a grid "
+                          f"axis (available: {', '.join(SEARCH_MODES)})")
+    sbm.add_argument("--poll", type=float, default=DEFAULT_POLL_S,
+                     metavar="SECONDS",
+                     help="delay between job-progress polls "
+                          f"(default: {DEFAULT_POLL_S:g})")
+    sbm.add_argument("--timeout", type=float, default=None, metavar="SECONDS",
+                     help="give up waiting for the job after this long "
+                          "(default: wait forever)")
+    sbm.add_argument("--no-wait", action="store_true", dest="no_wait",
+                     help="submit and print the job id without waiting for "
+                          "completion (poll later with another submit of "
+                          "the same grid)")
 
     mrg = sub.add_parser(
         "merge-ledgers",
@@ -413,7 +512,148 @@ def _split_csv(text: str) -> tuple[str, ...]:
     return tuple(part.strip() for part in text.split(",") if part.strip())
 
 
+def _grid_doc_from_args(args: argparse.Namespace) -> dict | None:
+    """The sweep-grid request document shared by submit and --server.
+
+    Built from the CSV grid flags common to ``sweep`` and ``submit``;
+    returns ``None`` (after printing the error) on a malformed --loops.
+    The server re-validates everything through the same
+    :class:`~repro.flow.sweep.ScenarioGrid` the local path uses.
+    """
+    try:
+        loops = [int(v) for v in _split_csv(args.loops)]
+    except ValueError:
+        print(f"error: --loops expects comma-separated integers, "
+              f"got {args.loops!r}", file=sys.stderr)
+        return None
+    return {
+        "workloads": list(_split_csv(args.workloads)),
+        "devices": [d.lower() for d in _split_csv(args.devices)],
+        "precisions": list(_split_csv(args.precisions)),
+        "loops": loops,
+        "iter_maxes": [args.iter_max],
+        "backends": [b.lower() for b in _split_csv(args.backends)],
+        "searches": [s.lower() for s in _split_csv(args.searches)],
+        "include": list(args.include),
+        "exclude": list(args.exclude),
+    }
+
+
+def _submit_grid(
+    server: str,
+    grid_doc: dict,
+    *,
+    poll_s: float = DEFAULT_POLL_S,
+    timeout_s: float | None = None,
+    wait: bool = True,
+) -> int:
+    client = ServeClient(server)
+    job = client.submit_sweep(grid_doc)
+    job_id = job["job_id"]
+    total = job.get("scenarios", 0)
+    coalesced = " (coalesced onto the running job)" if job.get("coalesced") \
+        else ""
+    print(f"Submitted job {job_id} ({total} scenarios) "
+          f"to {client.base_url}{coalesced}")
+    if not wait:
+        print(f"Poll with: repro submit --server {client.base_url} ... "
+              "(same grid resumes/coalesces) or GET /jobs/" + job_id)
+        return 0
+
+    printed = {"n": 0}
+
+    def on_rows(rows: list[dict]) -> None:
+        for row in rows:
+            printed["n"] += 1
+            if row.get("status") == "ok":
+                tail = (f"{row['latency_ms']:10.3f} ms"
+                        if row.get("latency_ms") is not None else "")
+                status = "resumed" if row.get("resumed") else (
+                    "cached" if row.get("cached") else "compiled")
+            else:
+                status = "ERROR"
+                tail = row.get("error", "")
+            print(f"[{printed['n']:>{len(str(total))}}/{total}] "
+                  f"{row.get('scenario_id', '-'):<32} {status:<9} "
+                  f"{row.get('elapsed_s', 0.0):6.2f}s  {tail}")
+
+    final = client.wait_job(
+        job_id, poll_s=poll_s, timeout_s=timeout_s, on_rows=on_rows
+    )
+    rows = client.job(job_id).get("rows", [])
+    if rows:
+        print()
+        print(job_results_table(rows, title=f"Job results ({job_id})"))
+    print()
+    print(job_summary(final))
+    if final.get("status") == "stopped":
+        print("note: the server drained mid-job; resubmit the same grid "
+              "to resume from its ledger", file=sys.stderr)
+    return 0 if final.get("status") == "done" else 1
+
+
+def _cmd_submit(args: argparse.Namespace) -> int:
+    grid_doc = _grid_doc_from_args(args)
+    if grid_doc is None:
+        return 1
+    return _submit_grid(
+        args.server, grid_doc, poll_s=args.poll, timeout_s=args.timeout,
+        wait=not args.no_wait,
+    )
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from .server import DseServer
+
+    if args.jobs < 1:
+        print(f"error: --jobs must be >= 1, got {args.jobs}", file=sys.stderr)
+        return 1
+    if args.max_retries < 0:
+        print(f"error: --max-retries must be >= 0, got {args.max_retries}",
+              file=sys.stderr)
+        return 1
+    if args.faults is not None:
+        try:
+            arm_faults(args.faults)
+        except NSFlowError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 1
+    server = DseServer(
+        args.cache_dir,
+        host=args.host,
+        port=args.port,
+        jobs=args.jobs,
+        partition_search=args.partition_search,
+        mf_slack=args.mf_slack,
+        max_retries=args.max_retries,
+        worker_id=args.worker_id,
+        lease_timeout_s=args.lease_timeout,
+    )
+
+    def on_ready(srv: DseServer) -> None:
+        # The ready line is machine-read (tests, tools/serve_smoke.py):
+        # with --port 0 it is the only place the real port appears.
+        print(f"Serving on http://{srv.host}:{srv.port} "
+              f"(cache: {srv.cache_dir}, pool jobs: {srv.jobs}, "
+              f"worker id: {srv.worker_id})", flush=True)
+
+    asyncio.run(server.serve(on_ready=on_ready))
+    s = server.stats
+    print(f"Drained: {s.requests} requests — {s.compiles} compiles "
+          f"({s.warm_hits} warm hits, {s.pricings} priced, "
+          f"{s.coalesced} coalesced), {s.sweeps} sweep submissions",
+          flush=True)
+    return 0
+
+
 def _cmd_sweep(args: argparse.Namespace) -> int:
+    if args.server is not None:
+        grid_doc = _grid_doc_from_args(args)
+        if grid_doc is None:
+            return 1
+        return _submit_grid(args.server, grid_doc)
     if args.jobs < 1:
         print(f"error: --jobs must be >= 1, got {args.jobs}", file=sys.stderr)
         return 1
@@ -609,6 +849,10 @@ def main(argv: list[str] | None = None) -> int:
             return _cmd_compile(args)
         if args.command == "sweep":
             return _cmd_sweep(args)
+        if args.command == "serve":
+            return _cmd_serve(args)
+        if args.command == "submit":
+            return _cmd_submit(args)
         if args.command == "merge-ledgers":
             return _cmd_merge_ledgers(args)
     except NSFlowError as exc:

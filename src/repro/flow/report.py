@@ -35,6 +35,8 @@ __all__ = [
     "sweep_summary",
     "shard_progress_table",
     "merge_summary_table",
+    "job_results_table",
+    "job_summary",
 ]
 
 
@@ -511,6 +513,86 @@ def merge_summary_table(
             + ", ".join(merge.double_priced)
         )
     return table
+
+
+def job_results_table(
+    rows: Sequence[dict], title: str | None = None
+) -> str:
+    """Render a server job's polled ledger-row documents.
+
+    ``repro submit`` builds this from the ``rows`` of ``GET
+    /jobs/<id>`` — :class:`~repro.flow.ledger.LedgerRecord` documents,
+    the same serialization the ledger file itself uses. ``Source``
+    mirrors the local sweep table: ``resume``/``cache``/``fresh`` (or
+    ``reissue``/``recover`` for the distributed-recovery provenance).
+    """
+    out = []
+    for row in rows:
+        if row.get("status") == "ok":
+            if row.get("resumed"):
+                source = "resume"
+            elif row.get("cached"):
+                source = "cache"
+            elif row.get("reissued"):
+                source = "reissue"
+            elif row.get("recovered"):
+                source = "recover"
+            else:
+                source = "fresh"
+            latency = row.get("latency_ms")
+            out.append([
+                row.get("scenario_id", "-"),
+                "ok",
+                source,
+                f"{latency:.3f}" if latency is not None else "-",
+                f"{row.get('evaluations', 0):,}",
+                f"{row.get('elapsed_s', 0.0):.2f}",
+            ])
+        else:
+            out.append([
+                row.get("scenario_id", "-"), "ERROR", "-", "-", "0",
+                f"{row.get('elapsed_s', 0.0):.2f}",
+            ])
+    table = format_table(
+        ["Scenario", "Status", "Source", "Latency (ms)", "Evals",
+         "Elapsed (s)"],
+        out,
+        title=title or "Job results",
+    )
+    errors = [
+        f"  {row.get('scenario_id', '-')}: {row.get('error')}"
+        for row in rows if row.get("status") != "ok"
+    ]
+    if errors:
+        table += "\n\nScenario errors:\n" + "\n".join(errors)
+    return table
+
+
+def job_summary(job_doc: dict) -> str:
+    """The audit line a ``repro submit`` run ends with.
+
+    Built from the final job document of ``GET /jobs/<id>``: the job's
+    terminal status plus the server-side sweep summary counters (the
+    same counts a local ``repro sweep`` prints).
+    """
+    parts = [f"Job {job_doc.get('job_id', '?')}: {job_doc.get('status', '?')}"]
+    summary = job_doc.get("summary") or {}
+    if summary:
+        parts.append(
+            f"{summary.get('scenarios', 0)} scenarios in "
+            f"{summary.get('elapsed_s', 0.0):.2f} s — "
+            f"{summary.get('compiled', 0)} compiled, "
+            f"{summary.get('cached', 0)} cache hits "
+            f"({summary.get('resumed', 0)} resumed via ledger), "
+            f"{summary.get('errors', 0)} errors"
+        )
+        parts.append(
+            f"Fresh model evaluations: "
+            f"{summary.get('fresh_model_evaluations', 0):,}"
+        )
+    if job_doc.get("error"):
+        parts.append(f"Error: {job_doc['error']}")
+    return "\n".join(parts)
 
 
 def speedup_table(

@@ -87,6 +87,8 @@ __all__ = [
     "parse_shard",
     "shard_index",
     "shard_filter",
+    "scenario_key_doc",
+    "scenario_key",
     "run_sweep",
     "DEFAULT_LEASE_TIMEOUT_S",
 ]
@@ -284,35 +286,56 @@ class ScenarioSpec:
         return self.max_pes or self.device_obj.max_pes()
 
     def key_doc(self) -> dict:
-        """The cache key's input document (see ``artifacts.scenario_cache_key``).
-
-        Clock and H/W ranges come from the engine-level defaults that
-        ``NSFlow``/``DseEngine`` actually compile with, so a changed
-        default invalidates the cache rather than serving stale hits.
-        """
-        return _key_doc(
-            workload=self.workload,
-            workload_config=jsonable(
-                workload_config(self.workload, **dict(self.overrides))
-            ),
-            device=self.device_obj,
-            precision=self.precision_obj,
-            iter_max=self.iter_max,
-            loops=self.loops,
-            max_pes=self.resolved_max_pes(),
-            clock_mhz=DEFAULT_CLOCK_MHZ,
-            range_h=DEFAULT_RANGE_H,
-            range_w=DEFAULT_RANGE_W,
-            backend=self.backend,
-            # `search` deliberately absent: like `partition_search` and
-            # `jobs`, it is result-preserving (byte-identical reports),
-            # so both modes share one cache entry.
-        )
+        """The cache key's input document — see :func:`scenario_key_doc`."""
+        return scenario_key_doc(self)
 
     def cache_key(self) -> str:
-        """Hash of :meth:`key_doc` — one assembly site, so the stored
-        ``meta.json`` inputs always match the hash the entry lives under."""
-        return stable_digest(self.key_doc(), length=32)
+        """The scenario's artifact-cache key — see :func:`scenario_key`."""
+        return scenario_key(self)
+
+
+def scenario_key_doc(spec: ScenarioSpec) -> dict:
+    """The artifact-cache key's input document for one scenario.
+
+    A pure function of the spec: the fully-resolved workload config
+    (defaults + overrides), the device budget, the precision pair, and
+    the result-affecting engine knobs. Clock and H/W ranges come from
+    the engine-level defaults that ``NSFlow``/``DseEngine`` actually
+    compile with, so a changed default invalidates the cache rather
+    than serving stale hits. ``search`` is deliberately absent: like
+    ``partition_search`` and ``jobs``, it is result-preserving
+    (byte-identical reports), so both modes share one cache entry.
+    """
+    return _key_doc(
+        workload=spec.workload,
+        workload_config=jsonable(
+            workload_config(spec.workload, **dict(spec.overrides))
+        ),
+        device=spec.device_obj,
+        precision=spec.precision_obj,
+        iter_max=spec.iter_max,
+        loops=spec.loops,
+        max_pes=spec.resolved_max_pes(),
+        clock_mhz=DEFAULT_CLOCK_MHZ,
+        range_h=DEFAULT_RANGE_H,
+        range_w=DEFAULT_RANGE_W,
+        backend=spec.backend,
+    )
+
+
+def scenario_key(spec: ScenarioSpec) -> str:
+    """Content hash of :func:`scenario_key_doc` — *the* scenario identity.
+
+    This single assembly site is shared by every consumer that must
+    agree on keys: ``run_sweep``'s store lookups, the run ledger's
+    resume/claim records, and the serve layer's single-flight
+    coalescing map (:mod:`repro.flow.server`). Two
+    :class:`ScenarioSpec` instances describing the same compilation —
+    however they were constructed — hash to the same key, so a request
+    coalesced on this key is provably the same work the sweep path
+    would have cached.
+    """
+    return stable_digest(scenario_key_doc(spec), length=32)
 
 
 def _as_tuple(value) -> tuple:
@@ -490,6 +513,10 @@ class SweepResult:
     #: ``point:action`` fire counts of any armed fault plan (this
     #: process only; pool workers log to the shared fires.log instead).
     fault_fires: dict[str, int] = field(default_factory=dict)
+    #: The sweep was stopped early by its ``should_stop`` hook (server
+    #: drain): scenarios after the stop point were never started and are
+    #: absent from ``outcomes`` — a later resume picks them up.
+    stopped: bool = False
 
     @property
     def n_scenarios(self) -> int:
@@ -690,6 +717,8 @@ def run_sweep(
     lease_timeout_s: float = DEFAULT_LEASE_TIMEOUT_S,
     scenario_timeout_s: float | None = None,
     retry: RetryPolicy | None = None,
+    pool: DsePool | None = None,
+    should_stop: Callable[[], bool] | None = None,
 ) -> SweepResult:
     """Compile every scenario of ``grid``, reusing cached artifacts.
 
@@ -765,6 +794,21 @@ def run_sweep(
         is given as a *path* (an already-constructed :class:`RunLedger`
         or :class:`ArtifactStore` keeps whatever policy it was built
         with).
+    pool:
+        An externally owned :class:`~repro.dse.engine.DsePool` to price
+        on. The sweep then neither creates nor closes a pool — the
+        caller keeps the worker fleet (and the model caches bounded by
+        the pool's lifetime) warm across many sweeps. ``jobs`` is
+        ignored when a pool is given; this is how the ``repro serve``
+        warm server amortizes fork + cache-warmup over requests.
+    should_stop:
+        Optional zero-arg predicate polled before each scenario. Once
+        it returns true the sweep stops starting new scenarios: the
+        in-flight scenario finishes normally (its outcome is recorded
+        and, under the claim protocol, its claim is closed by the
+        result row), remaining scenarios are simply never started, and
+        the result is marked ``stopped=True``. A later ``resume=True``
+        run completes the grid. This is the graceful-drain hook.
 
     Failure isolation: any exception from one scenario (trace extraction,
     DSE, backend, artifact I/O) is recorded on its outcome — message and
@@ -802,8 +846,17 @@ def run_sweep(
     retries_before = retry_count()
     fires_before = fire_counts()
     t_start = time.perf_counter()
-    with DsePool(jobs) as pool:
+    owned_pool = pool is None
+    if owned_pool:
+        pool = DsePool(jobs)
+    try:
         for spec in specs:
+            if should_stop is not None and should_stop():
+                # Graceful stop: nothing new is started. Unstarted
+                # scenarios get no outcome and no ledger row — exactly
+                # the state a resume run knows how to finish.
+                result.stopped = True
+                break
             t0 = time.perf_counter()
             key = ""
             recovered = False
@@ -930,6 +983,11 @@ def run_sweep(
         # clears the model caches (the long-sweep memory-growth bound),
         # which would zero the miss deltas this audit is built on.
         result.fresh_model_evaluations = fresh_evaluations_since(snapshot)
+    finally:
+        # An external pool outlives the sweep by design — its owner
+        # (e.g. the serve loop) keeps workers and caches warm.
+        if owned_pool:
+            pool.close()
     result.elapsed_s = time.perf_counter() - t_start
     result.stage_timings = stage_timings_since(timing_snapshot)
     result.store_stats = store.stats if store is not None else None

@@ -19,6 +19,20 @@ Two layers of memoization coexist:
 
 ``clear_model_caches()`` resets everything, including the ``lru_cache``
 layers — benchmarks call it to time genuinely cold sweeps.
+
+Two counter views coexist, for two different lifetimes:
+
+* the **resettable** view (:func:`counters_snapshot` /
+  :func:`fresh_evaluations_since`) zeroes with ``clear()`` — it is what
+  one sweep uses to audit its own fresh work, and clearing between
+  sweeps is part of its contract;
+* the **cumulative** view (:func:`cumulative_snapshot` /
+  :func:`delta_since`) is monotonic for the life of the process —
+  ``clear_model_caches()`` folds the cleared counters into a running
+  total instead of losing them. Long-lived processes (the ``repro
+  serve`` warm server) account per-request hits/misses by diffing two
+  cumulative snapshots, so they never need to clear caches between
+  requests just to keep the books straight.
 """
 
 from __future__ import annotations
@@ -50,6 +64,8 @@ __all__ = [
     "cache_stats",
     "counters_snapshot",
     "fresh_evaluations_since",
+    "cumulative_snapshot",
+    "delta_since",
     "clear_model_caches",
     "LAYER_RUNTIME_CACHE",
     "VSA_RUNTIME_CACHE",
@@ -92,6 +108,10 @@ class EvalCache:
         self.max_entries = max_entries
         self.hits = 0
         self.misses = 0
+        # Monotonic carry-over: counters folded in by clear(), so the
+        # cumulative view survives cache resets (see cumulative_*).
+        self._cleared_hits = 0
+        self._cleared_misses = 0
         self._store: dict[Any, Any] = {}
         _REGISTRY[name] = self
 
@@ -109,12 +129,30 @@ class EvalCache:
         return value
 
     def clear(self) -> None:
+        """Drop entries and reset the *resettable* counters.
+
+        The cleared counters are folded into the cumulative totals first
+        — clearing bounds memory and restarts per-sweep accounting, but
+        never erases the process-lifetime history.
+        """
+        self._cleared_hits += self.hits
+        self._cleared_misses += self.misses
         self._store.clear()
         self.hits = 0
         self.misses = 0
 
     def __len__(self) -> int:
         return len(self._store)
+
+    @property
+    def cumulative_hits(self) -> int:
+        """Process-lifetime hit count; monotonic across :meth:`clear`."""
+        return self._cleared_hits + self.hits
+
+    @property
+    def cumulative_misses(self) -> int:
+        """Process-lifetime miss count; monotonic across :meth:`clear`."""
+        return self._cleared_misses + self.misses
 
     @property
     def stats(self) -> CacheStats:
@@ -283,6 +321,57 @@ def counters_snapshot() -> dict[str, tuple[int, int, int]]:
     }
 
 
+#: Counters the ``lru_cache`` layers held at each ``cache_clear()``;
+#: ``cache_info()`` resets with the cache, so the cumulative view must
+#: carry the pre-clear totals itself.
+_LRU_CLEARED: dict[str, tuple[int, int]] = {}
+
+
+def cumulative_snapshot() -> dict[str, tuple[int, int]]:
+    """Monotonic ``(hits, misses)`` per cache — the long-lived-process view.
+
+    Unlike :func:`counters_snapshot`, these totals only grow:
+    :func:`clear_model_caches` (and per-cache ``clear()``) folds the
+    dropped counters into a running carry instead of zeroing them. A
+    warm server takes one snapshot per request and diffs with
+    :func:`delta_since` — no cache clearing required between requests,
+    and a clear that *does* happen (pool close, memory bound) cannot
+    make a delta go negative or silently vanish.
+    """
+    snap = {
+        name: (cache.cumulative_hits, cache.cumulative_misses)
+        for name, cache in _REGISTRY.items()
+    }
+    for fn in (layer_runtime, vsa_node_runtime):
+        info = fn.cache_info()
+        name = f"lru.{fn.__name__}"
+        h0, m0 = _LRU_CLEARED.get(name, (0, 0))
+        snap[name] = (h0 + info.hits, m0 + info.misses)
+    return snap
+
+
+def delta_since(snapshot: dict[str, tuple[int, int]]) -> dict[str, CacheStats]:
+    """Per-cache counter growth since a :func:`cumulative_snapshot`.
+
+    Returns one :class:`CacheStats` per cache whose counters moved
+    (``entries`` is the cache's *current* resident size, not a delta).
+    Caches created after the snapshot count from zero. Because both
+    endpoints are monotonic, the deltas are non-negative even when
+    ``clear_model_caches()`` ran in between — the property that makes
+    per-request accounting in a long-lived process trustworthy.
+    """
+    deltas: dict[str, CacheStats] = {}
+    entries = {name: s.entries for name, s in cache_stats().items()}
+    for name, (hits, misses) in cumulative_snapshot().items():
+        h0, m0 = snapshot.get(name, (0, 0))
+        if hits - h0 or misses - m0:
+            deltas[name] = CacheStats(
+                name=name, hits=hits - h0, misses=misses - m0,
+                entries=entries.get(name, 0),
+            )
+    return deltas
+
+
 def fresh_evaluations_since(snapshot: dict[str, tuple]) -> int:
     """Total new keyed-cache *misses* since ``snapshot`` (each miss
     computed a model result from scratch). Caches cleared or created
@@ -297,8 +386,17 @@ def fresh_evaluations_since(snapshot: dict[str, tuple]) -> int:
 
 
 def clear_model_caches() -> None:
-    """Reset every keyed cache *and* the runtime ``lru_cache`` layers."""
+    """Reset every keyed cache *and* the runtime ``lru_cache`` layers.
+
+    Resettable counters zero; the cumulative view keeps counting — the
+    dropped ``lru_cache`` counters are folded into :data:`_LRU_CLEARED`
+    (the keyed caches carry their own fold in :meth:`EvalCache.clear`).
+    """
     for cache in _REGISTRY.values():
         cache.clear()
-    layer_runtime.cache_clear()
-    vsa_node_runtime.cache_clear()
+    for fn in (layer_runtime, vsa_node_runtime):
+        info = fn.cache_info()
+        name = f"lru.{fn.__name__}"
+        h0, m0 = _LRU_CLEARED.get(name, (0, 0))
+        _LRU_CLEARED[name] = (h0 + info.hits, m0 + info.misses)
+        fn.cache_clear()

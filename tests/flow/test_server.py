@@ -1,0 +1,256 @@
+"""Lifecycle tests for the ``repro serve`` warm-process DSE service.
+
+Covers the perf mechanics the service exists for: single-flight
+coalescing (N concurrent identical requests → exactly one pricing), the
+warm cache-hit path that never touches the pool, sweep jobs streamed
+through the server-side ledger, and graceful drain — both the
+``POST /drain`` path in-process and SIGTERM against a real server
+subprocess with an in-flight sweep (stalled via an injected
+``sweep.compile`` delay), including resume-after-restart byte-identity
+against a local sweep.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import re
+import signal
+import subprocess
+import sys
+import time
+from concurrent.futures import ThreadPoolExecutor
+
+import pytest
+
+from repro.errors import ServeError
+from repro.faults import injected_faults
+from repro.flow.artifacts import ArtifactStore
+from repro.flow.client import ServeClient
+from repro.flow.ledger import LedgerRecord, RunLedger, merge_ledgers
+from repro.flow.server import running_server, sweep_job_id
+from repro.flow.sweep import ScenarioGrid, ScenarioSpec, run_sweep, scenario_key
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.dirname(__file__)))
+
+
+def _client(server) -> ServeClient:
+    return ServeClient(f"http://127.0.0.1:{server.port}")
+
+
+def test_health_stats_and_bad_requests(tmp_path):
+    with running_server(tmp_path / "cache") as server:
+        client = _client(server)
+        assert client.health() == {"ok": True, "draining": False}
+        stats = client.stats()
+        assert stats["pricings"] == 0 and stats["inflight"] == 0
+        with pytest.raises(ServeError, match="unknown compile request"):
+            client.compile_scenario({"workload": "prae", "nope": 1})
+        with pytest.raises(ServeError, match="unknown workload"):
+            client.compile_scenario({"workload": "no-such-workload"})
+        with pytest.raises(ServeError, match="404"):
+            client.job("no-such-job")
+
+
+def test_compile_miss_then_warm_hit(tmp_path):
+    with running_server(tmp_path / "cache") as server:
+        client = _client(server)
+        spec_doc = {"workload": "synth", "overrides": {"seed": 11}}
+        miss = client.compile_scenario(spec_doc)
+        hit = client.compile_scenario(spec_doc)
+        assert miss["status"] == hit["status"] == "ok"
+        assert not miss["cached"] and hit["cached"]
+        assert miss["key"] == hit["key"] == scenario_key(
+            ScenarioSpec(workload="synth", overrides=(("seed", 11),))
+        )
+        assert miss["latency_ms"] == hit["latency_ms"]
+        assert hit["evaluations"] == 0
+        stats = client.stats()
+        assert stats["pricings"] == 1
+        assert stats["warm_hits"] == 1
+
+
+def test_single_flight_coalescing(tmp_path):
+    """N concurrent identical requests perform exactly one pricing."""
+    n = 6
+    with running_server(tmp_path / "cache") as server:
+        client = _client(server)
+        spec_doc = {"workload": "synth", "overrides": {"seed": 21}}
+        # Stall the one real compile long enough for every concurrent
+        # request to arrive while it is in flight.
+        with injected_faults("sweep.compile:delay=0.5"):
+            with ThreadPoolExecutor(max_workers=n) as pool:
+                results = list(pool.map(
+                    lambda _i: client.compile_scenario(spec_doc), range(n)
+                ))
+        keys = {r["key"] for r in results}
+        latencies = {r["latency_ms"] for r in results}
+        assert len(keys) == 1 and len(latencies) == 1
+        assert all(r["status"] == "ok" for r in results)
+        stats = client.stats()
+        assert stats["pricings"] == 1
+        assert stats["coalesced"] == n - 1
+        assert stats["warm_hits"] == 0
+
+
+def test_warm_path_never_touches_the_pool(tmp_path):
+    """Cache hits are answered from the store alone — ``pool.maps`` is
+    the proof (with jobs >= 2 every fresh pricing maps on the pool)."""
+    with running_server(tmp_path / "cache", jobs=2) as server:
+        client = _client(server)
+        spec_doc = {"workload": "synth", "overrides": {"seed": 31}}
+        client.compile_scenario(spec_doc)
+        maps_after_miss = client.stats()["pool_maps"]
+        assert maps_after_miss > 0
+        hit = client.compile_scenario(spec_doc)
+        assert hit["cached"]
+        stats = client.stats()
+        assert stats["pool_maps"] == maps_after_miss
+        assert stats["pricings"] == 1
+        assert stats["warm_hits"] == 1
+
+
+def test_sweep_job_streams_rows_and_coalesces(tmp_path):
+    with running_server(tmp_path / "cache") as server:
+        client = _client(server)
+        grid_doc = {"workloads": ["synth:0-3"]}
+        with injected_faults("sweep.compile:delay=0.3"):
+            job = client.submit_sweep(grid_doc)
+            assert job["status"] == "running" and job["scenarios"] == 4
+            assert job["job_id"] == sweep_job_id(
+                ScenarioGrid(workloads=("synth:0-3",))
+            )
+            # An identical grid submitted while running coalesces onto
+            # the same job instead of starting a second run.
+            again = client.submit_sweep(grid_doc)
+            assert again["job_id"] == job["job_id"]
+            assert again.get("coalesced") is True
+            batches: list[list[dict]] = []
+            final = client.wait_job(
+                job["job_id"], timeout_s=60, on_rows=batches.append
+            )
+        assert final["status"] == "done"
+        assert final["summary"]["scenarios"] == 4
+        assert final["summary"]["errors"] == 0
+        rows = [row for batch in batches for row in batch]
+        assert len(rows) == 4
+        assert all(row["status"] == "ok" for row in rows)
+        assert client.stats()["jobs_coalesced"] == 1
+        # The job ledger is a real RunLedger on disk, claim rows and all.
+        ledger = RunLedger(tmp_path / "cache" / "jobs"
+                           / f"{job['job_id']}.jsonl")
+        assert len(ledger.records()) == 4
+        assert ledger.open_claims() == {}
+
+
+def test_drain_finishes_inflight_and_rejects_new_work(tmp_path):
+    with running_server(tmp_path / "cache") as server:
+        client = _client(server)
+        spec_doc = {"workload": "synth", "overrides": {"seed": 41}}
+        with injected_faults("sweep.compile:delay=0.6"):
+            with ThreadPoolExecutor(max_workers=1) as pool:
+                inflight = pool.submit(client.compile_scenario, spec_doc)
+                time.sleep(0.2)           # request is mid-pricing
+                client.drain()
+                # The in-flight pricing finishes and answers normally.
+                assert inflight.result(timeout=30)["status"] == "ok"
+        # New work is rejected (503) or the listener is already gone
+        # (connection refused) — both surface as ServeError.
+        with pytest.raises(ServeError):
+            for _ in range(20):
+                client.compile_scenario(
+                    {"workload": "synth", "overrides": {"seed": 42}}
+                )
+                time.sleep(0.05)
+
+
+def _spawn_server(tmp_path, *extra_args):
+    env = dict(os.environ, PYTHONPATH=os.path.join(REPO_ROOT, "src"))
+    proc = subprocess.Popen(
+        [sys.executable, "-m", "repro", "serve", "--port", "0",
+         "--cache-dir", str(tmp_path / "cache"), *extra_args],
+        stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True, env=env,
+    )
+    ready = proc.stdout.readline()
+    m = re.search(r"http://[\d.]+:(\d+)", ready)
+    if m is None:
+        proc.kill()
+        raise AssertionError(f"no ready line from server: {ready!r}")
+    return proc, ServeClient(f"http://127.0.0.1:{m.group(1)}")
+
+
+def test_sigterm_drains_inflight_sweep_and_resume_matches_local(tmp_path):
+    """SIGTERM mid-sweep: the in-flight scenario finishes, nothing else
+    starts, claims are closed; resubmitting after restart resumes the
+    job to a result byte-identical to a local sweep of the same grid."""
+    proc, client = _spawn_server(
+        tmp_path, "--faults", "sweep.compile:delay=0.6x*",
+    )
+    try:
+        job = client.submit_sweep({"workloads": ["synth:0-3"]})
+        job_id = job["job_id"]
+        deadline = time.monotonic() + 30
+        while not client.job(job_id)["rows"]:
+            assert time.monotonic() < deadline, "no scenario finished"
+            time.sleep(0.05)
+        proc.send_signal(signal.SIGTERM)
+        assert proc.wait(timeout=60) == 0
+    finally:
+        if proc.poll() is None:
+            proc.kill()
+    ledger_path = tmp_path / "cache" / "jobs" / f"{job_id}.jsonl"
+    ledger = RunLedger(ledger_path)
+    records = ledger.records()
+    # Drained mid-grid: at least the in-flight scenario landed, at
+    # least one scenario was never started, and no claim was left open
+    # (the drain finishes, not abandons, claimed work).
+    assert 1 <= len(records) < 4
+    assert all(r.status == "ok" for r in records)
+    assert ledger.open_claims() == {}
+
+    # Restart (no faults) and resubmit the identical grid: same job id,
+    # same ledger, completed scenarios resume instead of re-pricing.
+    proc, client = _spawn_server(tmp_path)
+    try:
+        job = client.submit_sweep({"workloads": ["synth:0-3"]})
+        assert job["job_id"] == job_id
+        final = client.wait_job(job_id, timeout_s=60)
+        assert final["status"] == "done"
+        assert final["summary"]["errors"] == 0
+        assert final["summary"]["resumed"] == len(records)
+        client.drain()
+    finally:
+        if proc.wait(timeout=60) != 0:
+            raise AssertionError("server did not drain cleanly")
+
+    # Byte-identity: the server-produced ledger merges to exactly the
+    # canonical rows of a local `repro sweep` over the same grid.
+    local_ledger = tmp_path / "local-ledger.jsonl"
+    result = run_sweep(
+        ScenarioGrid(workloads=("synth:0-3",)),
+        store=ArtifactStore(tmp_path / "local-cache"),
+        ledger=local_ledger,
+    )
+    assert result.n_errors == 0
+    served = merge_ledgers([ledger_path])
+    local = merge_ledgers([local_ledger])
+    assert served.canonical_ledger_text() == local.canonical_ledger_text()
+    assert served.report_text() == local.report_text()
+
+
+def test_job_rows_are_ledger_records(tmp_path):
+    """Polled rows round-trip through the LedgerRecord schema."""
+    with running_server(tmp_path / "cache") as server:
+        client = _client(server)
+        job = client.submit_sweep({"workloads": ["synth:7"]})
+        final = client.wait_job(job["job_id"], timeout_s=60)
+        assert final["status"] == "done"
+        doc = client.job(job["job_id"])
+        assert doc["next"] == 1
+        record = LedgerRecord.from_doc(doc["rows"][0])
+        assert record.status == "ok"
+        assert record.worker == server.worker_id
+        # since-cursor: nothing new after the end.
+        assert client.job(job["job_id"], since=doc["next"])["rows"] == []
+        out = json.dumps(doc["rows"][0], sort_keys=True)
+        assert "traceback" in doc["rows"][0] and out  # full schema served

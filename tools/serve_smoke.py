@@ -1,0 +1,191 @@
+#!/usr/bin/env python
+"""Serve crash-recovery smoke gate.
+
+Runs the ``repro serve`` durability guarantee end to end with the real
+CLI on both sides of the wire (CI's ``serve-smoke`` job):
+
+1. boot a server subprocess with an injected per-compile delay and a
+   short claim lease;
+2. submit a small synth sweep through ``repro submit --no-wait``;
+3. SIGKILL the server the moment the first scenario lands in the
+   server-side job ledger — mid-grid, possibly mid-pricing, the worst
+   crash window;
+4. restart the server on the same cache dir and worker id, resubmit the
+   identical grid with ``repro submit``: the job resumes from the
+   surviving ledger rows (stale claims re-issued, completed scenarios
+   never re-priced) and runs to completion;
+5. drain the server, then run a local ``repro sweep`` of the same grid
+   into a separate cache: the merged canonical ledger and report must
+   be **byte-identical**, with zero double-priced scenarios and zero
+   open claims.
+
+Any violated invariant exits non-zero.
+
+Usage:
+    PYTHONPATH=src python tools/serve_smoke.py [--seeds 0-5]
+        [--delay 0.5] [--workdir DIR]
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import re
+import signal
+import subprocess
+import sys
+import tempfile
+import time
+
+sys.path.insert(
+    0, str(pathlib.Path(__file__).resolve().parents[1] / "src")
+)
+
+from repro.flow.client import ServeClient  # noqa: E402
+from repro.flow.ledger import RunLedger, merge_ledgers  # noqa: E402
+
+WORKER_ID = "serve-smoke"
+LEASE_S = 1.0
+
+
+def _check(ok: bool, what: str) -> bool:
+    print(("PASS" if ok else "FAIL") + f"  {what}")
+    return ok
+
+
+def _repro(*args: str) -> list[str]:
+    return [sys.executable, "-m", "repro", *args]
+
+
+def _spawn_server(cache: pathlib.Path, *extra: str) -> tuple[
+        subprocess.Popen, ServeClient]:
+    proc = subprocess.Popen(
+        _repro("serve", "--port", "0", "--cache-dir", str(cache),
+               "--worker-id", WORKER_ID, "--lease-timeout", str(LEASE_S),
+               *extra),
+        stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True,
+    )
+    ready = proc.stdout.readline()
+    m = re.search(r"http://[\d.]+:(\d+)", ready)
+    if m is None:
+        proc.kill()
+        raise SystemExit(f"server never became ready: {ready!r}")
+    return proc, ServeClient(f"http://127.0.0.1:{m.group(1)}")
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--seeds", default="0-5",
+                        help="synth seed range for the grid (default: 0-5)")
+    parser.add_argument("--delay", type=float, default=0.5,
+                        help="injected per-compile delay in seconds; the "
+                             "SIGKILL window (default: 0.5)")
+    parser.add_argument("--workdir", type=pathlib.Path, default=None,
+                        help="working directory (default: a fresh tempdir)")
+    args = parser.parse_args(argv)
+
+    workdir = args.workdir or pathlib.Path(tempfile.mkdtemp(
+        prefix="nsflow-serve-smoke-"
+    ))
+    workdir.mkdir(parents=True, exist_ok=True)
+    cache = workdir / "serve-cache"
+    grid_flags = ("--workloads", f"synth:{args.seeds}")
+    print(f"workdir: {workdir}")
+    print(f"grid: synth:{args.seeds}, compile delay {args.delay}s, "
+          f"SIGKILL after the first ledger row")
+
+    # 1-2. boot with the delay armed, submit without waiting.
+    proc, client = _spawn_server(
+        cache, "--faults", f"sweep.compile:delay={args.delay}x*",
+    )
+    ok = True
+    try:
+        submit = subprocess.run(
+            _repro("submit", "--server", client.base_url, *grid_flags,
+                   "--no-wait"),
+            capture_output=True, text=True, timeout=120,
+        )
+        ok &= _check(submit.returncode == 0,
+                     "repro submit --no-wait accepted the grid"
+                     + (f": {submit.stderr.strip()}" if submit.returncode
+                        else ""))
+        m = re.search(r"Submitted job (\w+) \((\d+) scenarios\)",
+                      submit.stdout)
+        if m is None:
+            print(f"FAIL  could not parse job id from: {submit.stdout!r}")
+            return 1
+        job_id, total = m.group(1), int(m.group(2))
+
+        # 3. SIGKILL as soon as one scenario has durably landed.
+        deadline = time.monotonic() + 120
+        while not client.job(job_id)["rows"]:
+            if time.monotonic() > deadline:
+                print("FAIL  no scenario finished before the kill window")
+                return 1
+            time.sleep(0.05)
+        proc.send_signal(signal.SIGKILL)
+        proc.wait(timeout=60)
+    finally:
+        if proc.poll() is None:
+            proc.kill()
+
+    ledger_path = cache / "jobs" / f"{job_id}.jsonl"
+    survivors = RunLedger(ledger_path).records()
+    ok &= _check(1 <= len(survivors) < total,
+                 f"server died mid-grid ({len(survivors)}/{total} rows "
+                 f"survived, {len(RunLedger(ledger_path).open_claims())} "
+                 "claims open)")
+
+    # 4. restart on the same cache + worker id, resubmit and wait.
+    proc, client = _spawn_server(cache)
+    try:
+        submit = subprocess.run(
+            _repro("submit", "--server", client.base_url, *grid_flags),
+            capture_output=True, text=True, timeout=300,
+        )
+        ok &= _check(submit.returncode == 0,
+                     "resubmitted job ran to completion"
+                     + (f": {submit.stderr.strip()}\n{submit.stdout}"
+                        if submit.returncode else ""))
+        ok &= _check(f"Submitted job {job_id}" in submit.stdout,
+                     "resubmission resumed the same job id")
+        ok &= _check(re.search(r"\bresumed\b", submit.stdout) is not None,
+                     "surviving rows were resumed, not re-priced")
+        client.drain()
+    finally:
+        try:
+            drained = proc.wait(timeout=120) == 0
+        except subprocess.TimeoutExpired:
+            proc.kill()
+            drained = False
+    ok &= _check(drained, "restarted server drained cleanly")
+
+    # 5. local golden over the same grid, then byte-compare.
+    golden_ledger = workdir / "local" / "ledger.jsonl"
+    local = subprocess.run(
+        _repro("sweep", *grid_flags,
+               "--cache-dir", str(workdir / "local" / "cache"),
+               "--ledger", str(golden_ledger)),
+        capture_output=True, text=True, timeout=300,
+    )
+    ok &= _check(local.returncode == 0,
+                 "local repro sweep of the same grid succeeded"
+                 + (f": {local.stderr.strip()}" if local.returncode else ""))
+
+    served = merge_ledgers([ledger_path])
+    golden = merge_ledgers([golden_ledger])
+    ok &= _check(served.double_priced == [],
+                 f"zero double-priced scenarios "
+                 f"(got {len(served.double_priced)})")
+    ok &= _check(served.open_claims == [], "zero open claims after resume")
+    ok &= _check(
+        served.canonical_ledger_text() == golden.canonical_ledger_text(),
+        "served canonical ledger byte-identical to local sweep",
+    )
+    ok &= _check(served.report_text() == golden.report_text(),
+                 "served report byte-identical to local sweep")
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())
