@@ -13,6 +13,16 @@ sweep: a lazy candidate stream, chunked process-pool evaluation
 :class:`TwoPhaseDSE` remains as the original single-winner facade.
 """
 
+from .accuracy import (
+    DEFAULT_ACCURACY_PROBLEMS,
+    DEFAULT_ACCURACY_SEED,
+    AccuracyResult,
+    accuracy_cache_key,
+    accuracy_cache_stats,
+    clear_accuracy_cache,
+    deployed_workload,
+    evaluate_accuracy,
+)
 from .config import DesignConfig, ExecutionMode, design_config_from_json, design_config_to_json
 from .phase1 import Phase1Result, run_phase1
 from .phase2 import Phase2Result, run_phase2
@@ -43,6 +53,14 @@ from .timing import (
 )
 
 __all__ = [
+    "DEFAULT_ACCURACY_PROBLEMS",
+    "DEFAULT_ACCURACY_SEED",
+    "AccuracyResult",
+    "accuracy_cache_key",
+    "accuracy_cache_stats",
+    "clear_accuracy_cache",
+    "deployed_workload",
+    "evaluate_accuracy",
     "DesignConfig",
     "ExecutionMode",
     "design_config_to_json",

@@ -72,6 +72,7 @@ from ..nn.gemm import GemmDims
 from ..quant import MIXED_PRECISION_PRESETS, MixedPrecisionConfig
 from ..trace.opnode import VsaDims
 from ..utils import is_power_of_two, log2_int
+from .accuracy import AccuracyResult
 from .config import DesignConfig, ExecutionMode
 from .multifidelity import (
     SEARCH_MODES,
@@ -489,12 +490,19 @@ def area_pe_equiv(h: int, w: int, n_sub: int) -> int:
 
 @dataclass(frozen=True)
 class ParetoPoint:
-    """One frontier point in the latency × area × energy objective space.
+    """One frontier point in the latency × area × energy (× accuracy) space.
 
     * ``cycles`` — estimated runtime of the geometry's best schedule;
     * ``area`` — PE-equivalents including per-sub-array periphery
       (:func:`area_pe_equiv`);
-    * ``energy_proxy`` — ``cycles × area`` (area-cycles switched).
+    * ``energy_proxy`` — ``cycles × area`` (area-cycles switched);
+    * ``accuracy`` — seeded functional task accuracy of the scenario's
+      workload under its quantization config, or ``None`` when accuracy
+      evaluation is off (or the workload has no functional pipeline).
+      Within one report accuracy is constant across geometries (it
+      depends on precision and vector dimensions, not on the array
+      shape), so it never changes which points survive the per-report
+      filter — the four-axis trade-off materializes *across* scenarios.
     """
 
     h: int
@@ -506,6 +514,7 @@ class ParetoPoint:
     cycles: int
     area: int
     energy_proxy: int
+    accuracy: float | None = None
 
     @property
     def geometry(self) -> tuple[int, int, int]:
@@ -516,9 +525,16 @@ class ParetoPoint:
         return self.h * self.w * self.n_sub
 
     @property
-    def objectives(self) -> tuple[int, int, int]:
-        """The minimized objective vector (latency, area, energy)."""
-        return (self.cycles, self.area, self.energy_proxy)
+    def objectives(self) -> tuple[float, ...]:
+        """The minimized objective vector (latency, area, energy[, -acc]).
+
+        Accuracy joins as a *negated* fourth component (dominance
+        minimizes every axis). Points without accuracy keep the exact
+        three-axis vector, so accuracy-off behaviour is unchanged.
+        """
+        if self.accuracy is None:
+            return (self.cycles, self.area, self.energy_proxy)
+        return (self.cycles, self.area, self.energy_proxy, -self.accuracy)
 
     def latency_s(self, clock_mhz: float) -> float:
         return self.cycles / (clock_mhz * 1e6)
@@ -575,6 +591,9 @@ class DseReport:
     space: DesignSpaceSize
     pareto: ParetoFrontier | None = None
     backend: BackendInfo | None = None
+    #: Seeded functional accuracy of the workload under its quantization
+    #: config (``None`` when accuracy evaluation was off).
+    accuracy: "AccuracyResult | None" = None
 
     @property
     def phase2_gain(self) -> float:
@@ -769,6 +788,7 @@ class DseEngine:
         backend: str | EvaluationBackend = "analytic",
         search: str = "exhaustive",
         mf_slack: float = 0.0,
+        accuracy: AccuracyResult | None = None,
     ):
         if not is_power_of_two(max_pes):
             raise DSEError(f"max_pes must be a power of two, got {max_pes}")
@@ -820,6 +840,10 @@ class DseEngine:
         self.partition_search = partition_search
         self.search = search
         self.mf_slack = mf_slack
+        #: Pre-computed functional accuracy of the workload being explored
+        #: (the engine only sees the graph, so the caller — NSFlow —
+        #: evaluates and injects it). Stamped onto every frontier point.
+        self.accuracy = accuracy
 
     # -- candidate stream ------------------------------------------------------
 
@@ -1013,6 +1037,7 @@ class DseEngine:
         (and ``geometries_evaluated``) accounting, keeping the report
         byte-identical to exhaustive search.
         """
+        acc_value = self.accuracy.value if self.accuracy is not None else None
         points = []
         for ev in evals:
             cycles = ev.best_cycles
@@ -1027,6 +1052,7 @@ class DseEngine:
                 cycles=cycles,
                 area=area,
                 energy_proxy=cycles * area,
+                accuracy=acc_value,
             ))
         frontier = pareto_filter(points)
         non_dominated = len(frontier)
@@ -1123,6 +1149,7 @@ class DseEngine:
             space=space,
             pareto=pareto,
             backend=self.backend.info,
+            accuracy=self.accuracy,
         )
 
     @staticmethod

@@ -20,6 +20,9 @@ Cache key
   ``max_pes``, ``clock_mhz``, the H/W sweep ranges, and the evaluation
   ``backend`` (``analytic`` vs ``schedule`` price designs differently,
   so their artifacts must never collide),
+* the accuracy-evaluation request, when enabled: ``{n_problems, seed}``
+  (the accuracy *value* is an output, never part of the key; with the
+  knob off the block is ``None`` so accuracy-free keys are stable),
 
 plus :data:`ARTIFACT_FORMAT_VERSION` (the on-disk schema) and
 :data:`ENGINE_CACHE_EPOCH` (the cost-model generation). Knobs that are
@@ -63,6 +66,7 @@ from ..dse.config import (
     design_config_from_json,
     design_config_to_json,
 )
+from ..dse.accuracy import AccuracyResult
 from ..dse.engine import (
     DEFAULT_CLOCK_MHZ,
     DEFAULT_RANGE_H,
@@ -96,7 +100,10 @@ __all__ = [
 
 #: On-disk schema version; bump when the artifact file layout changes.
 #: v2: report.json gained the producing backend's ``{name, version}``.
-ARTIFACT_FORMAT_VERSION = 2
+#: v3: report.json gained the functional ``accuracy`` result (and each
+#: Pareto point its ``accuracy`` stamp); the key document gained the
+#: accuracy-evaluation request block.
+ARTIFACT_FORMAT_VERSION = 3
 
 #: Cost-model generation. Bump whenever the analytical models, the DSE
 #: semantics, or the backend estimators change in a way that can alter
@@ -121,6 +128,7 @@ def scenario_cache_key(
     range_h: tuple[int, int] = DEFAULT_RANGE_H,
     range_w: tuple[int, int] = DEFAULT_RANGE_W,
     backend: str = "analytic",
+    accuracy: dict | None = None,
 ) -> str:
     """Content hash of everything that determines a scenario's artifacts."""
     return stable_digest(_key_doc(
@@ -135,6 +143,7 @@ def scenario_cache_key(
         range_h=range_h,
         range_w=range_w,
         backend=backend,
+        accuracy=accuracy,
     ), length=32)
 
 
@@ -151,6 +160,7 @@ def _key_doc(
     range_h: tuple[int, int],
     range_w: tuple[int, int],
     backend: str = "analytic",
+    accuracy: dict | None = None,
 ) -> dict:
     return {
         "format": ARTIFACT_FORMAT_VERSION,
@@ -174,6 +184,10 @@ def _key_doc(
             # invalidates exactly its own cached scenarios.
             "backend": {"name": backend, "version": backend_version(backend)},
         },
+        # The accuracy *request* ({n_problems, seed} or None), never the
+        # resulting value: entries with and without functional accuracy
+        # must not collide, but the value itself is an output.
+        "accuracy": accuracy,
     }
 
 
@@ -226,6 +240,7 @@ def _report_doc(design: "CompiledDesign") -> dict:
     return {
         "format_version": ARTIFACT_FORMAT_VERSION,
         "backend": None if dse.backend is None else jsonable(dse.backend),
+        "accuracy": None if dse.accuracy is None else jsonable(dse.accuracy),
         "phase1": jsonable(dse.phase1),
         "phase2": jsonable(dse.phase2),
         "space": jsonable(dse.space),
@@ -253,6 +268,7 @@ def _frontier_from_doc(doc: dict | None) -> ParetoFrontier | None:
             nl_bar=p["nl_bar"], nv_bar=p["nv_bar"],
             cycles=p["cycles"], area=p["area"],
             energy_proxy=p["energy_proxy"],
+            accuracy=p.get("accuracy"),
         )
         for p in doc["points"]
     )
@@ -289,6 +305,10 @@ def _artifacts_from_docs(
         backend=(
             None if report.get("backend") is None
             else BackendInfo(**report["backend"])
+        ),
+        accuracy=(
+            None if report.get("accuracy") is None
+            else AccuracyResult(**report["accuracy"])
         ),
     )
     return ScenarioArtifacts(

@@ -64,6 +64,16 @@ DSE flags
     Print the DSE stage-timing table (Phase I sweep seconds, model
     probes paid, Phase II refinement, Pareto filtering) after the run —
     the counters that make a ``--partition-search`` speedup visible.
+``--accuracy``
+    Evaluate *functional accuracy* as a fourth frontier objective: the
+    workload's VSA/neural pipeline is executed over ``--accuracy-
+    problems`` seeded problems (``--accuracy-seed``) under the design's
+    quantization, and the resulting accuracy joins latency × area ×
+    energy in the Pareto dominance test and report. **Result-affecting**
+    (the request, never the value, is part of the sweep cache key);
+    seeded and memoized, so repeated compilations and warm sweeps
+    re-execute nothing. Workloads without a functional pipeline (the
+    synthetic generator) report no accuracy and rank on three axes.
 
 Frontier report
 ---------------
@@ -119,6 +129,7 @@ from .report import (
     sweep_summary,
 )
 from .sweep import DEFAULT_LEASE_TIMEOUT_S, ScenarioGrid, run_sweep
+from ..dse.accuracy import DEFAULT_ACCURACY_PROBLEMS, DEFAULT_ACCURACY_SEED
 from ..dse.config import design_config_to_json
 from ..dse.engine import (
     EVALUATION_BACKENDS,
@@ -130,6 +141,24 @@ from ..dse.timing import stage_timings_since, timings_snapshot
 __all__ = ["main", "build_parser"]
 
 _DEVICES = FPGA_DEVICES
+
+
+def _add_accuracy_flags(p: argparse.ArgumentParser) -> None:
+    """The functional-accuracy knobs shared by compile/sweep/submit."""
+    p.add_argument("--accuracy", action="store_true",
+                   help="evaluate functional accuracy (seeded workload "
+                        "execution under the deployed quantization) as a "
+                        "fourth Pareto objective; result-affecting, part "
+                        "of the sweep cache key")
+    p.add_argument("--accuracy-problems", type=int,
+                   default=DEFAULT_ACCURACY_PROBLEMS,
+                   dest="accuracy_problems", metavar="N",
+                   help="problems per accuracy evaluation "
+                        f"(default: {DEFAULT_ACCURACY_PROBLEMS})")
+    p.add_argument("--accuracy-seed", type=int,
+                   default=DEFAULT_ACCURACY_SEED, dest="accuracy_seed",
+                   help="seed of the generated accuracy problem set "
+                        f"(default: {DEFAULT_ACCURACY_SEED})")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -177,6 +206,7 @@ def build_parser() -> argparse.ArgumentParser:
                            "any value)")
     comp.add_argument("--timings", action="store_true",
                       help="print the DSE stage-timing table after the run")
+    _add_accuracy_flags(comp)
     comp.add_argument("--out", type=pathlib.Path, default=None,
                       help="directory for generated artifacts")
 
@@ -236,6 +266,7 @@ def build_parser() -> argparse.ArgumentParser:
     swp.add_argument("--timings", action="store_true",
                      help="print the full DSE stage-timing table after "
                           "the sweep summary")
+    _add_accuracy_flags(swp)
     swp.add_argument("--cache-dir", type=pathlib.Path,
                      default=pathlib.Path(".nsflow-cache"),
                      help="artifact-store directory (default: .nsflow-cache)")
@@ -372,6 +403,7 @@ def build_parser() -> argparse.ArgumentParser:
     sbm.add_argument("--search", default="exhaustive", dest="searches",
                      help="comma-separated Phase I strategies as a grid "
                           f"axis (available: {', '.join(SEARCH_MODES)})")
+    _add_accuracy_flags(sbm)
     sbm.add_argument("--poll", type=float, default=DEFAULT_POLL_S,
                      metavar="SECONDS",
                      help="delay between job-progress polls "
@@ -450,6 +482,9 @@ def _cmd_compile(args: argparse.Namespace) -> int:
         backend=args.backend,
         search=args.search,
         mf_slack=args.mf_slack,
+        accuracy=args.accuracy,
+        accuracy_problems=args.accuracy_problems,
+        accuracy_seed=args.accuracy_seed,
     )
     snapshot = timings_snapshot()
     design = nsf.compile(workload, n_loops=args.loops)
@@ -474,6 +509,14 @@ def _cmd_compile(args: argparse.Namespace) -> int:
          else args.backend],
         ["Simulated latency", f"{design.latency_ms:.3f} ms"],
     ]
+    if design.dse.accuracy is not None:
+        acc = design.dse.accuracy
+        rows.append([
+            "Functional accuracy",
+            f"{acc.value:.4f} ({acc.n_problems} problems, seed {acc.seed})"
+            if acc.value is not None
+            else f"n/a ({workload.name} has no functional pipeline)",
+        ])
     print(format_table(
         ["Parameter", "Value"], rows,
         title=f"NSFlow design: {workload.name} on {r.device}",
@@ -534,6 +577,9 @@ def _grid_doc_from_args(args: argparse.Namespace) -> dict | None:
         "iter_maxes": [args.iter_max],
         "backends": [b.lower() for b in _split_csv(args.backends)],
         "searches": [s.lower() for s in _split_csv(args.searches)],
+        "accuracy": args.accuracy,
+        "accuracy_problems": args.accuracy_problems,
+        "accuracy_seed": args.accuracy_seed,
         "include": list(args.include),
         "exclude": list(args.exclude),
     }
@@ -671,6 +717,9 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         iter_maxes=(args.iter_max,),
         backends=tuple(b.lower() for b in _split_csv(args.backends)),
         searches=tuple(s.lower() for s in _split_csv(args.searches)),
+        accuracy=args.accuracy,
+        accuracy_problems=args.accuracy_problems,
+        accuracy_seed=args.accuracy_seed,
         include=tuple(args.include),
         exclude=tuple(args.exclude),
     )

@@ -20,6 +20,11 @@ from dataclasses import dataclass
 from ..arch.controller import Controller, ScheduleResult
 from ..arch.resources import FpgaDevice, ResourceEstimate, U250, estimate_resources
 from ..arch.rtlgen import generate_rtl_parameters
+from ..dse.accuracy import (
+    DEFAULT_ACCURACY_PROBLEMS,
+    DEFAULT_ACCURACY_SEED,
+    evaluate_accuracy,
+)
 from ..dse.config import DesignConfig
 from ..dse.engine import (
     DEFAULT_CLOCK_MHZ,
@@ -91,6 +96,9 @@ class NSFlow:
         backend: str | EvaluationBackend = "analytic",
         search: str = "exhaustive",
         mf_slack: float = 0.0,
+        accuracy: bool = False,
+        accuracy_problems: int = DEFAULT_ACCURACY_PROBLEMS,
+        accuracy_seed: int = DEFAULT_ACCURACY_SEED,
     ):
         self.device = device
         self.precision = precision or MIXED_PRECISION_PRESETS["MP"]
@@ -106,8 +114,15 @@ class NSFlow:
         self.backend = backend
         self.search = search
         self.mf_slack = mf_slack
+        self.accuracy = accuracy
+        self.accuracy_problems = accuracy_problems
+        self.accuracy_seed = accuracy_seed
         if self.max_pes < 4:
             raise ConfigError(f"device {device.name} supports too few PEs")
+        if accuracy_problems < 1:
+            raise ConfigError(
+                f"accuracy_problems must be >= 1, got {accuracy_problems}"
+            )
 
     def compile(
         self,
@@ -121,6 +136,18 @@ class NSFlow:
             graph = fuse_loops(trace, n_loops)
         else:
             graph = build_dataflow_graph(trace)
+
+        # The functional accuracy axis (Table IV): evaluated here — the
+        # engine only sees the graph, but accuracy needs the workload's
+        # executable pipeline. Memoized per (fingerprint, problems, seed).
+        accuracy = (
+            evaluate_accuracy(
+                workload, self.accuracy_problems, self.accuracy_seed,
+                precision=self.precision,
+            )
+            if self.accuracy
+            else None
+        )
 
         dse = DseEngine(
             max_pes=self.max_pes,
@@ -136,6 +163,7 @@ class NSFlow:
             backend=self.backend,
             search=self.search,
             mf_slack=self.mf_slack,
+            accuracy=accuracy,
         )
         report = dse.explore(graph)
         config = report.config

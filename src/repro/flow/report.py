@@ -78,6 +78,9 @@ def pareto_frontier_table(
     PE-equivalent area proxy (PEs + sub-array periphery), and the
     area·cycle energy proxy. Rows are the frontier's deterministic order
     (ascending latency, ties broken by area, energy, then geometry).
+    When the frontier was built with the functional-accuracy objective
+    (any point carries an accuracy stamp) an ``Accuracy`` column is
+    appended; accuracy-free frontiers render exactly as before.
     """
     if title is None:
         shown = (
@@ -90,6 +93,7 @@ def pareto_frontier_table(
             f"{frontier.geometries_evaluated} geometries "
             f"({frontier.dominated} dominated or tied)"
         )
+    with_accuracy = any(p.accuracy is not None for p in frontier)
     rows = [
         [
             i + 1,
@@ -102,15 +106,15 @@ def pareto_frontier_table(
             f"{p.latency_s(clock_mhz) * 1e3:.3f}",
             f"{p.area:,}",
             f"{p.energy_proxy:.3e}",
-        ]
+        ] + ([f"{p.accuracy:.4f}" if p.accuracy is not None else "-"]
+             if with_accuracy else [])
         for i, p in enumerate(frontier)
     ]
-    return format_table(
-        ["#", "(H, W, N)", "Mode", "Nl:Nv", "Cycles", "Latency (ms)",
-         "Area (PE-eq)", "Energy (area*cyc)"],
-        rows,
-        title=title,
-    )
+    headers = ["#", "(H, W, N)", "Mode", "Nl:Nv", "Cycles", "Latency (ms)",
+               "Area (PE-eq)", "Energy (area*cyc)"]
+    if with_accuracy:
+        headers.append("Accuracy")
+    return format_table(headers, rows, title=title)
 
 
 def latency_breakdown_table(
@@ -193,8 +197,24 @@ def sweep_results_table(result: "SweepResult", title: str | None = None) -> str:
     fastest scenario, so device/precision penalties read directly off
     the table. Error rows keep their slot — failure isolation means a
     sweep report always accounts for every scenario it was asked to
-    run.
+    run. An ``Accuracy`` column is appended when any scenario was
+    compiled with the functional-accuracy objective; accuracy-free
+    sweeps render exactly as before.
     """
+    with_accuracy = any(
+        o.artifacts is not None and o.artifacts.report.accuracy is not None
+        for o in result.ok_outcomes()
+    )
+
+    def acc_cell(o) -> list:
+        if not with_accuracy:
+            return []
+        acc = o.artifacts.report.accuracy if o.artifacts is not None else None
+        return [
+            f"{acc.value:.4f}"
+            if acc is not None and acc.value is not None else "-"
+        ]
+
     best_by_workload: dict[str, float] = {}
     for o in result.ok_outcomes():
         lat = o.latency_ms
@@ -235,7 +255,7 @@ def sweep_results_table(result: "SweepResult", title: str | None = None) -> str:
                 f"{o.artifacts.resources.dsp_pct:.0f}%",
                 f"{o.evaluations:,}",
                 delta,
-            ])
+            ] + acc_cell(o))
         elif o.deferred:
             # Another worker holds a live claim: nothing was priced here
             # and the owner's ledger carries the result.
@@ -243,18 +263,18 @@ def sweep_results_table(result: "SweepResult", title: str | None = None) -> str:
             rows.append([
                 o.scenario_id, "deferred", holder, "-", "-", "-", "-", "-",
                 "-", "-", "0", "-",
-            ])
+            ] + (["-"] if with_accuracy else []))
         else:
             rows.append([
                 o.scenario_id, "ERROR", "-", "-", "-", "-", "-", "-", "-",
                 "-", "0", "-",
-            ])
-    table = format_table(
-        ["Scenario", "Status", "Source", "Backend", "(H, W, N)", "Mode",
-         "Nl:Nv", "SIMD", "Latency (ms)", "DSP", "Evals", "vs best"],
-        rows,
-        title=title or "Sweep results",
-    )
+            ] + (["-"] if with_accuracy else []))
+    headers = ["Scenario", "Status", "Source", "Backend", "(H, W, N)",
+               "Mode", "Nl:Nv", "SIMD", "Latency (ms)", "DSP", "Evals",
+               "vs best"]
+    if with_accuracy:
+        headers.append("Accuracy")
+    table = format_table(headers, rows, title=title or "Sweep results")
     errors = [
         f"  {o.scenario_id}: {o.error}"
         for o in result.outcomes if o.error is not None
@@ -386,6 +406,30 @@ def sweep_summary(result: "SweepResult") -> str:
         f"Fresh DSE evaluations: {result.total_evaluations:,} candidate "
         f"models ({result.fresh_model_evaluations:,} model-cache misses)"
     )
+    acc_results = [
+        o.artifacts.report.accuracy
+        for o in result.ok_outcomes()
+        if o.artifacts is not None and o.artifacts.report.accuracy is not None
+    ]
+    if acc_results:
+        scored = [a for a in acc_results if a.value is not None]
+        line = (
+            f"Functional accuracy: {len(scored)} of {len(acc_results)} "
+            f"scenarios scored"
+        )
+        if scored:
+            lo = min(a.value for a in scored)
+            hi = max(a.value for a in scored)
+            line += (
+                f" ({scored[0].n_problems} problems, seed {scored[0].seed}; "
+                f"range {lo:.4f}-{hi:.4f})"
+            )
+        if len(scored) < len(acc_results):
+            line += (
+                f"; {len(acc_results) - len(scored)} without a functional "
+                "pipeline"
+            )
+        lines.append(line)
     backends: dict[str, int] = {}
     for o in result.ok_outcomes():
         if o.artifacts is not None and o.artifacts.report.backend is not None:

@@ -47,6 +47,7 @@ from collections.abc import Callable, Sequence
 from dataclasses import dataclass, field
 
 from ..arch.resources import FPGA_DEVICES, FpgaDevice
+from ..dse.accuracy import DEFAULT_ACCURACY_PROBLEMS, DEFAULT_ACCURACY_SEED
 from ..dse.engine import (
     DEFAULT_CLOCK_MHZ,
     DEFAULT_RANGE_H,
@@ -209,7 +210,12 @@ class ScenarioSpec:
     the scenario id (as ``/mf``) so both modes can coexist in one grid,
     but **not** the cache key: multi-fidelity search is proven
     byte-identical to exhaustive, so either mode may serve the other's
-    cached artifacts.
+    cached artifacts. ``accuracy`` switches on the functional accuracy
+    objective: the workload's VSA/neural pipeline is executed over
+    ``accuracy_problems`` seeded problems under the design's
+    quantization, and the result joins the Pareto frontier as a fourth
+    axis — result-affecting, so the request (never the value) is part
+    of the scenario id and cache key.
     """
 
     workload: str
@@ -220,6 +226,9 @@ class ScenarioSpec:
     max_pes: int | None = None
     backend: str = "analytic"
     search: str = "exhaustive"
+    accuracy: bool = False
+    accuracy_problems: int = DEFAULT_ACCURACY_PROBLEMS
+    accuracy_seed: int = DEFAULT_ACCURACY_SEED
     overrides: tuple[tuple[str, object], ...] = ()
 
     def __post_init__(self) -> None:
@@ -252,6 +261,10 @@ class ScenarioSpec:
                 f"unknown search mode {self.search!r}; "
                 f"available: {', '.join(SEARCH_MODES)}"
             )
+        if self.accuracy_problems < 1:
+            raise ConfigError(
+                f"accuracy_problems must be >= 1, got {self.accuracy_problems}"
+            )
         object.__setattr__(
             self, "overrides", tuple(sorted(tuple(self.overrides)))
         )
@@ -270,6 +283,10 @@ class ScenarioSpec:
             sid += f"/{self.backend}"
         if self.search != "exhaustive":
             sid += "/mf"
+        if self.accuracy:
+            sid += f"/acc{self.accuracy_problems}"
+            if self.accuracy_seed != DEFAULT_ACCURACY_SEED:
+                sid += f"s{self.accuracy_seed}"
         if self.overrides:
             sid += "/" + ",".join(f"{k}={v}" for k, v in self.overrides)
         return sid
@@ -320,6 +337,11 @@ def scenario_key_doc(spec: ScenarioSpec) -> dict:
         range_h=DEFAULT_RANGE_H,
         range_w=DEFAULT_RANGE_W,
         backend=spec.backend,
+        accuracy=(
+            {"n_problems": spec.accuracy_problems, "seed": spec.accuracy_seed}
+            if spec.accuracy
+            else None
+        ),
     )
 
 
@@ -362,6 +384,11 @@ class ScenarioGrid:
     expands to one scenario per seed via :func:`expand_workload_axis`,
     the seed joining the scenario's config overrides (and therefore its
     id and cache key).
+
+    ``accuracy``/``accuracy_problems``/``accuracy_seed`` are scalar
+    knobs, not axes: they apply uniformly to every scenario of the grid
+    (the interesting accuracy comparison is *across* the precision axis,
+    not across problem counts).
     """
 
     workloads: tuple[str, ...]
@@ -372,6 +399,9 @@ class ScenarioGrid:
     max_pes: tuple[int | None, ...] = (None,)
     backends: tuple[str, ...] = ("analytic",)
     searches: tuple[str, ...] = ("exhaustive",)
+    accuracy: bool = False
+    accuracy_problems: int = DEFAULT_ACCURACY_PROBLEMS
+    accuracy_seed: int = DEFAULT_ACCURACY_SEED
     overrides: tuple[tuple[str, object], ...] = ()
     include: tuple[str, ...] = ()
     exclude: tuple[str, ...] = ()
@@ -424,6 +454,9 @@ class ScenarioGrid:
                                                 max_pes=pes,
                                                 backend=backend,
                                                 search=search,
+                                                accuracy=self.accuracy,
+                                                accuracy_problems=self.accuracy_problems,
+                                                accuracy_seed=self.accuracy_seed,
                                                 overrides=overrides,
                                             )
                                             if self._selected(spec.scenario_id):
@@ -590,6 +623,9 @@ def _compile_scenario(
         backend=spec.backend,
         search=spec.search,
         mf_slack=mf_slack,
+        accuracy=spec.accuracy,
+        accuracy_problems=spec.accuracy_problems,
+        accuracy_seed=spec.accuracy_seed,
     )
     design = nsf.compile(workload, n_loops=spec.loops)
     artifacts = ScenarioArtifacts(

@@ -59,26 +59,34 @@ MIXED_PRECISION_PRESETS: dict[str, MixedPrecisionConfig] = {
 }
 
 
-def component_footprint_bytes(n_elements: int, precision: Precision) -> float:
-    """Storage bytes for ``n_elements`` at ``precision`` (INT4 packs 2/byte)."""
+def component_footprint_bytes(n_elements: int, precision: Precision) -> int:
+    """Storage bytes for ``n_elements`` at ``precision`` (INT4 packs 2/byte).
+
+    Packed storage is whole bytes: an odd INT4 element count rounds up
+    (``ceil(n/2)``), matching how a packed buffer is allocated. The
+    per-element *rate* stays fractional (``Precision.bytes_per_element``);
+    only realized footprints are integral.
+    """
     if n_elements < 0:
         raise PrecisionError(f"element count must be non-negative, got {n_elements}")
-    return n_elements * precision.bytes_per_element
+    return (n_elements * precision.bits + 7) // 8
 
 
 def model_footprint_bytes(
     component_elements: Mapping[str, int],
     config: MixedPrecisionConfig,
-) -> float:
+) -> int:
     """Total model memory for a workload under a mixed-precision config.
 
     ``component_elements`` maps component tags (``neural`` / ``symbolic``)
     to element counts (weights + codebooks + resident activations). The
     Table IV "Memory" row for NVSA uses ~8 M total elements split so the
     paper's 32 MB (FP32) → 5.5 MB (MP) → 4 MB (INT4) progression follows
-    from the byte widths alone.
+    from the byte widths alone. Each component is packed independently
+    (per-component buffers), so the total is the sum of per-component
+    ``ceil`` footprints — always a whole number of bytes.
     """
-    total = 0.0
+    total = 0
     for component, count in component_elements.items():
         precision = config.precision_for(component)
         total += component_footprint_bytes(count, precision)

@@ -90,9 +90,15 @@ class QuantizedTensor:
         return self.values.astype(np.float64) * self.scale
 
     @property
-    def nbytes(self) -> float:
-        """Storage bytes at the nominal precision (packed for INT4)."""
-        return self.values.size * self.precision.bytes_per_element
+    def nbytes(self) -> int:
+        """Storage bytes at the nominal precision.
+
+        Sub-byte precisions pack: INT4 stores two elements per byte, so an
+        odd element count rounds *up* to the next whole byte (``ceil``), the
+        way a packed buffer is actually allocated. 3 INT4 elements are 2
+        bytes, never 1.5.
+        """
+        return (self.values.size * self.precision.bits + 7) // 8
 
 
 def _symmetric_scale(arr: np.ndarray, precision: Precision) -> float:

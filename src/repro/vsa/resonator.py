@@ -116,9 +116,17 @@ class ResonatorNetwork:
             prev_choice = choice
 
         labels = history[-1]
+        # Confidence = similarity of each factor's final *pre-cleanup*
+        # residual (composite unbound by every other factor's estimate) to
+        # the chosen atom. Scoring the chosen atom against itself would
+        # always be ~1.0 regardless of how noisy the composite is.
         scores = []
-        for cb, label in zip(self.codebooks, labels):
-            scores.append(cb.scores(cb[label])[cb.index_of(label)])
+        for i, (cb, label) in enumerate(zip(self.codebooks, labels)):
+            residual = target
+            for j, other in enumerate(estimates):
+                if j != i:
+                    residual = ops.circular_correlation(other, residual)
+            scores.append(cb.scores(residual)[cb.index_of(label)])
         return ResonatorResult(
             labels=labels,
             converged=converged,

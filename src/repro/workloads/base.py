@@ -86,6 +86,20 @@ class NSAIWorkload(abc.ABC):
         workload identity component (see :func:`repro.utils.stable_digest`)."""
         return stable_digest({"name": self.name, "config": self.config_dict()})
 
+    def evaluate_accuracy(self, n_problems: int, seed: int = 0) -> float | None:
+        """Seeded functional task accuracy in [0, 1], or ``None``.
+
+        Workloads with a functional pipeline (the Table I models) generate
+        ``n_problems`` problems from ``seed`` alone, run inference under
+        the workload's own quantization config, and report the fraction
+        solved correctly — bit-identical for the same (config, n_problems,
+        seed) in any process. Workloads without one (the synth generator)
+        return ``None`` and rank on the structural objectives unchanged.
+        Callers should go through :func:`repro.dse.accuracy.evaluate_accuracy`,
+        which memoizes.
+        """
+        return None
+
     def profile(self) -> WorkloadProfile:
         """FLOP/byte rollup computed from the trace."""
         trace = self.build_trace()

@@ -19,7 +19,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 
-from ..datasets.rpm import RpmProblem
+from ..datasets.rpm import RpmProblem, generate_dataset
 from ..datasets.spec import RpmAttribute, make_spec
 from ..errors import ConfigError
 from ..nn.gemm import GemmDims
@@ -104,15 +104,39 @@ class LvrfWorkload(NSAIWorkload):
 
     # -- functional interface ------------------------------------------------------
 
-    def solve_problem(self, problem: RpmProblem) -> int:
-        pred, _ = self.reasoner.solve(problem, self.perception)
+    def solve_problem(
+        self, problem: RpmProblem, perception: PerceptionModel | None = None
+    ) -> int:
+        pred, _ = self.reasoner.solve(problem, perception or self.perception)
         return pred
 
-    def accuracy(self, problems: list[RpmProblem]) -> float:
+    def accuracy(
+        self,
+        problems: list[RpmProblem],
+        perception: PerceptionModel | None = None,
+    ) -> float:
         if not problems:
             raise ConfigError("accuracy needs at least one problem")
-        correct = sum(1 for p in problems if self.solve_problem(p) == p.answer_index)
+        correct = sum(
+            1
+            for p in problems
+            if self.solve_problem(p, perception) == p.answer_index
+        )
         return correct / len(problems)
+
+    def evaluate_accuracy(self, n_problems: int, seed: int = 0) -> float | None:
+        """Seeded functional accuracy (see :class:`NSAIWorkload`)."""
+        if n_problems < 1:
+            raise ConfigError(f"n_problems must be >= 1, got {n_problems}")
+        root = make_rng(seed)
+        problems = generate_dataset(self.spec, n_problems, seed=root)
+        perception = PerceptionModel(
+            confidence=self.config.confidence,
+            noise=self.spec.perception_noise,
+            neural_precision=self.config.precision.neural,
+            rng=root,
+        )
+        return self.accuracy(problems, perception)
 
     # -- memory accounting -----------------------------------------------------------
 

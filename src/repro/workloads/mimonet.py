@@ -23,7 +23,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from ..datasets.cvr_svrt import RelationalItem
+from ..datasets.cvr_svrt import RelationalItem, generate_relational_dataset
 from ..errors import ConfigError
 from ..nn.gemm import GemmDims
 from ..nn.resnet import build_small_cnn
@@ -157,6 +157,37 @@ class MimoNetWorkload(NSAIWorkload):
                 total += 1
                 correct += int(pred == item.label)
         return correct / total
+
+    def evaluate_accuracy(self, n_problems: int, seed: int = 0) -> float | None:
+        """Seeded functional accuracy (see :class:`NSAIWorkload`).
+
+        Generates a CVR/SVRT set from ``seed`` alone, fits class
+        prototypes on a training slice, then classifies ``n_problems``
+        superposition groups. The CNN weights are fixed at construction
+        from the workload config, so the result is a pure function of
+        (config, n_problems, seed). Prototypes fitted by earlier
+        ``fit_prototypes`` calls are restored afterwards.
+        """
+        if n_problems < 1:
+            raise ConfigError(f"n_problems must be >= 1, got {n_problems}")
+        cfg = self.config
+        k = cfg.superposition
+        n_train = max(4 * cfg.n_classes, 8)
+        root = make_rng(seed)
+        items = generate_relational_dataset(
+            cfg.dataset,
+            n_train + n_problems * k,
+            image_size=cfg.image_size,
+            seed=root,
+        )
+        train, test = items[:n_train], items[n_train:]
+        groups = [test[i * k : (i + 1) * k] for i in range(n_problems)]
+        saved = self._prototypes
+        try:
+            self.fit_prototypes(train)
+            return self.accuracy(groups)
+        finally:
+            self._prototypes = saved
 
     # -- superposition retrieval --------------------------------------------------
 

@@ -27,7 +27,7 @@ from dataclasses import dataclass, field, replace
 
 import numpy as np
 
-from ..datasets.rpm import RpmProblem
+from ..datasets.rpm import RpmProblem, generate_dataset
 from ..datasets.spec import RpmAttribute, RpmDatasetSpec, make_spec
 from ..errors import ConfigError
 from ..nn.gemm import GemmDims
@@ -399,19 +399,47 @@ class NvsaWorkload(NSAIWorkload):
 
     # -- functional task interface ---------------------------------------------
 
-    def solve_problem(self, problem: RpmProblem) -> int:
+    def solve_problem(
+        self, problem: RpmProblem, perception: PerceptionModel | None = None
+    ) -> int:
         """Predicted candidate index for one RPM problem."""
-        pred, _ = self.reasoner.solve(problem, self.perception)
+        pred, _ = self.reasoner.solve(problem, perception or self.perception)
         return pred
 
-    def accuracy(self, problems: list[RpmProblem]) -> float:
+    def accuracy(
+        self,
+        problems: list[RpmProblem],
+        perception: PerceptionModel | None = None,
+    ) -> float:
         """Fraction of problems answered correctly."""
         if not problems:
             raise ConfigError("accuracy needs at least one problem")
         correct = sum(
-            1 for p in problems if self.solve_problem(p) == p.answer_index
+            1
+            for p in problems
+            if self.solve_problem(p, perception) == p.answer_index
         )
         return correct / len(problems)
+
+    def evaluate_accuracy(self, n_problems: int, seed: int = 0) -> float | None:
+        """Seeded functional accuracy (see :class:`NSAIWorkload`).
+
+        The problem set and a fresh perception channel share one stream
+        derived from ``seed``; the reasoner's codebooks are fixed at
+        construction from the workload config, so the result is a pure
+        function of (config, n_problems, seed).
+        """
+        if n_problems < 1:
+            raise ConfigError(f"n_problems must be >= 1, got {n_problems}")
+        root = make_rng(seed)
+        problems = generate_dataset(self.config.spec, n_problems, seed=root)
+        perception = PerceptionModel(
+            confidence=self.config.confidence,
+            noise=self.config.spec.perception_noise,
+            neural_precision=self.config.precision.neural,
+            rng=root,
+        )
+        return self.accuracy(problems, perception)
 
     # -- memory accounting -------------------------------------------------------
 

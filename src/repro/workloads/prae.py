@@ -23,7 +23,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from ..datasets.rpm import RpmProblem
+from ..datasets.rpm import RpmProblem, generate_dataset
 from ..datasets.spec import RpmAttribute, make_spec
 from ..errors import ConfigError
 from ..nn.gemm import GemmDims
@@ -166,21 +166,24 @@ class PraeWorkload(NSAIWorkload):
 
     # -- functional interface -------------------------------------------------------
 
-    def solve_problem(self, problem: RpmProblem) -> int:
+    def solve_problem(
+        self, problem: RpmProblem, perception: PerceptionModel | None = None
+    ) -> int:
+        perception = perception or self.perception
         n_cands = len(problem.candidates)
         scores = np.zeros(n_cands)
         for attr in problem.all_attributes:
             nv = attr.n_values
             pm = [
                 [
-                    self.perception.pmf(nv, problem.grid[r][c].value(attr.name))
+                    perception.pmf(nv, problem.grid[r][c].value(attr.name))
                     for c in range(3)
                 ]
                 for r in range(3)
             ]
             cand_pmfs = np.stack(
                 [
-                    self.perception.pmf(nv, cand.value(attr.name))
+                    perception.pmf(nv, cand.value(attr.name))
                     for cand in problem.candidates
                 ],
                 axis=0,
@@ -207,11 +210,38 @@ class PraeWorkload(NSAIWorkload):
                 scores += attr_scores / weight_total
         return int(np.argmax(scores))
 
-    def accuracy(self, problems: list[RpmProblem]) -> float:
+    def accuracy(
+        self,
+        problems: list[RpmProblem],
+        perception: PerceptionModel | None = None,
+    ) -> float:
         if not problems:
             raise ConfigError("accuracy needs at least one problem")
-        correct = sum(1 for p in problems if self.solve_problem(p) == p.answer_index)
+        correct = sum(
+            1
+            for p in problems
+            if self.solve_problem(p, perception) == p.answer_index
+        )
         return correct / len(problems)
+
+    def evaluate_accuracy(self, n_problems: int, seed: int = 0) -> float | None:
+        """Seeded functional accuracy (see :class:`NSAIWorkload`).
+
+        One seeded stream drives both the problem generator and a fresh
+        perception channel, so the result never depends on how much of the
+        workload's own RNG prior calls consumed.
+        """
+        if n_problems < 1:
+            raise ConfigError(f"n_problems must be >= 1, got {n_problems}")
+        root = make_rng(seed)
+        problems = generate_dataset(self.spec, n_problems, seed=root)
+        perception = PerceptionModel(
+            confidence=self.config.confidence,
+            noise=self.spec.perception_noise,
+            neural_precision=self.config.precision.neural,
+            rng=root,
+        )
+        return self.accuracy(problems, perception)
 
     # -- memory accounting -------------------------------------------------------------
 

@@ -254,3 +254,36 @@ def test_job_rows_are_ledger_records(tmp_path):
         assert client.job(job["job_id"], since=doc["next"])["rows"] == []
         out = json.dumps(doc["rows"][0], sort_keys=True)
         assert "traceback" in doc["rows"][0] and out  # full schema served
+
+
+def test_bad_since_cursor_is_a_client_error(tmp_path):
+    """Malformed/negative ``since`` values surface as 400s, not a 500."""
+    with running_server(tmp_path / "cache") as server:
+        client = _client(server)
+        job = client.submit_sweep({"workloads": ["synth:7"]})
+        client.wait_job(job["job_id"], timeout_s=60)
+        with pytest.raises(ServeError, match=r"400.*bad 'since'"):
+            client.job(job["job_id"], since=-1)
+        with pytest.raises(ServeError, match=r"400.*bad 'since'"):
+            client.request("GET", f"/jobs/{job['job_id']}?since=abc")
+        # A well-formed cursor on the same job still answers normally.
+        assert client.job(job["job_id"], since=0)["status"] == "done"
+
+
+def test_accuracy_request_threads_through_the_server(tmp_path):
+    """ScenarioSpec's accuracy fields are accepted on /compile and join
+    the scenario identity served back to the client."""
+    with running_server(tmp_path / "cache") as server:
+        client = _client(server)
+        doc = {"workload": "synth", "overrides": {"seed": 11},
+               "accuracy": True, "accuracy_problems": 4}
+        out = client.compile_scenario(doc)
+        assert out["status"] == "ok"
+        assert out["key"] == scenario_key(
+            ScenarioSpec(workload="synth", overrides=(("seed", 11),),
+                         accuracy=True, accuracy_problems=4)
+        )
+        plain = client.compile_scenario(
+            {"workload": "synth", "overrides": {"seed": 11}}
+        )
+        assert plain["key"] != out["key"]

@@ -48,6 +48,21 @@ class TestFootprintModel:
         assert component_footprint_bytes(1000, Precision.FP32) == 4000
         assert component_footprint_bytes(1000, Precision.INT4) == 500
 
+    def test_component_bytes_odd_int4_count_rounds_up(self):
+        """Packed storage is whole bytes: 3 INT4 elements are 2, not 1.5."""
+        assert component_footprint_bytes(3, Precision.INT4) == 2
+        assert component_footprint_bytes(1, Precision.INT4) == 1
+        assert component_footprint_bytes(0, Precision.INT4) == 0
+        assert isinstance(component_footprint_bytes(3, Precision.INT4), int)
+
+    def test_model_footprint_is_integral(self):
+        """Odd per-component INT4 counts each round up independently."""
+        elements = {"neural": 3, "symbolic": 5}
+        cfg = MIXED_PRECISION_PRESETS["INT4"]
+        total = model_footprint_bytes(elements, cfg)
+        assert total == 2 + 3
+        assert isinstance(total, int)
+
     def test_negative_count_rejected(self):
         with pytest.raises(PrecisionError):
             component_footprint_bytes(-1, Precision.INT8)

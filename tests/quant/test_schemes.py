@@ -74,7 +74,19 @@ class TestQuantizeTensor:
 
     def test_nbytes_packs_int4(self):
         qt = quantize_tensor(np.ones(100), Precision.INT4)
-        assert qt.nbytes == 50.0
+        assert qt.nbytes == 50
+        assert isinstance(qt.nbytes, int)
+
+    def test_nbytes_odd_int4_count_rounds_up(self):
+        """Packed INT4 storage is ceil(n/2) whole bytes, never fractional."""
+        qt = quantize_tensor(np.ones(3), Precision.INT4)
+        assert qt.nbytes == 2
+        qt1 = quantize_tensor(np.ones(1), Precision.INT4)
+        assert qt1.nbytes == 1
+
+    def test_nbytes_int8_unchanged_by_packing(self):
+        qt = quantize_tensor(np.ones(7), Precision.INT8)
+        assert qt.nbytes == 7
 
     @given(
         hnp.arrays(

@@ -67,3 +67,27 @@ class TestResonator:
     def test_flops_accounting_positive(self, factor_codebooks):
         net = ResonatorNetwork(factor_codebooks)
         assert net.flops_per_iteration() > 0
+
+    def test_scores_reflect_match_confidence(self, factor_codebooks):
+        """A noisy composite must score strictly below a clean one.
+
+        Regression: scores used to compare each chosen atom against
+        *itself*, so they were ~1.0 no matter how corrupted the input was.
+        """
+        import numpy as np
+
+        color, shape, size = factor_codebooks
+        clean = color["green"].bind(shape["star"]).bind(size["small"])
+        rng = np.random.default_rng(9)
+        sigma = 0.5 * float(clean.data.std())
+        noisy = BlockCodeVector(
+            clean.data + sigma * rng.standard_normal(clean.data.shape)
+        )
+        net = ResonatorNetwork(factor_codebooks)
+        clean_result = net.factorize(clean)
+        noisy_result = net.factorize(noisy)
+        assert clean_result.labels == noisy_result.labels == ["green", "star", "small"]
+        for clean_s, noisy_s in zip(clean_result.scores, noisy_result.scores):
+            assert noisy_s < clean_s
+        assert all(0.0 <= s <= 1.0 for s in clean_result.scores)
+        assert all(0.0 <= s <= 1.0 for s in noisy_result.scores)

@@ -1,0 +1,112 @@
+#!/usr/bin/env python
+"""Accuracy-objective smoke gate (CI's perf-smoke lane).
+
+Proves the functional-accuracy contract end to end with the real sweep
+orchestrator:
+
+1. cold-sweep ``prae`` across the INT8 and INT4 precision presets with
+   ``--accuracy`` on: both scenarios must score, the scores must obey
+   the quantization ladder (INT4 <= INT8), and the deployment-precision
+   twin must make the trade-off *visible* (INT4 strictly below INT8 at
+   the default problem set — the whole point of the fourth axis);
+2. warm-sweep the identical grid after clearing the in-process memo:
+   every scenario must be a cache hit, pricing zero fresh DSE
+   evaluations and executing **zero** functional accuracy problems
+   (``accuracy_cache_stats()``) — the scores ride the artifact store;
+3. the warm scores must be bit-identical to the cold ones.
+
+Any violated invariant exits non-zero.
+
+Usage:
+    PYTHONPATH=src python tools/accuracy_smoke.py [--workdir DIR]
+        [--problems N]
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import sys
+import tempfile
+
+sys.path.insert(
+    0, str(pathlib.Path(__file__).resolve().parents[1] / "src")
+)
+
+from repro.dse import accuracy_cache_stats, clear_accuracy_cache  # noqa: E402
+from repro.flow import ArtifactStore, ScenarioGrid, run_sweep  # noqa: E402
+
+
+def fail(message: str) -> None:
+    print(f"FAIL: {message}")
+    sys.exit(1)
+
+
+def scores(result) -> dict[str, float | None]:
+    out = {}
+    for outcome in result.ok_outcomes():
+        acc = outcome.artifacts.report.accuracy
+        if acc is None:
+            fail(f"{outcome.spec.scenario_id} has no accuracy result")
+        out[outcome.spec.scenario_id] = acc.value
+    return out
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--workdir", default=None,
+                        help="cache directory (default: a temp dir)")
+    parser.add_argument("--problems", type=int, default=16,
+                        help="seeded problems per evaluation (default 16)")
+    args = parser.parse_args()
+
+    workdir = pathlib.Path(
+        args.workdir or tempfile.mkdtemp(prefix="accuracy-smoke-")
+    )
+    grid = ScenarioGrid(
+        workloads=("prae",),
+        precisions=("INT8", "INT4"),
+        accuracy=True,
+        accuracy_problems=args.problems,
+    )
+    store = ArtifactStore(workdir / "cache")
+
+    clear_accuracy_cache()
+    cold = run_sweep(grid, store=store)
+    if cold.n_errors:
+        fail(f"cold sweep recorded {cold.n_errors} errors")
+    if cold.n_compiled != 2:
+        fail(f"cold sweep compiled {cold.n_compiled} scenarios, wanted 2")
+    cold_scores = scores(cold)
+    suffix = f"acc{args.problems}" if args.problems != 16 else "acc16"
+    int8 = cold_scores[f"prae@u250/INT8/{suffix}"]
+    int4 = cold_scores[f"prae@u250/INT4/{suffix}"]
+    if int8 is None or int4 is None:
+        fail(f"prae scenarios must score, got INT8={int8} INT4={int4}")
+    if int4 > int8:
+        fail(f"quantization ladder violated: INT4 {int4} > INT8 {int8}")
+    if int4 >= int8:
+        fail(
+            f"no visible trade-off: INT4 {int4} == INT8 {int8} — the "
+            "deployment-precision twin is not reaching the pipeline"
+        )
+    print(f"cold: INT8 {int8:.4f}, INT4 {int4:.4f} "
+          f"({args.problems} problems)")
+
+    clear_accuracy_cache()
+    warm = run_sweep(grid, store=store)
+    if warm.n_compiled != 0:
+        fail(f"warm sweep re-priced {warm.n_compiled} scenarios")
+    executed = accuracy_cache_stats()["executed"]
+    if executed != 0:
+        fail(f"warm sweep re-executed {executed} accuracy evaluations")
+    warm_scores = scores(warm)
+    if warm_scores != cold_scores:
+        fail(f"warm scores drifted: {warm_scores} != {cold_scores}")
+    print("warm: 2 cache hits, 0 fresh evaluations, "
+          "0 accuracy executions, scores bit-identical")
+    print("OK: accuracy smoke passed")
+
+
+if __name__ == "__main__":
+    main()
